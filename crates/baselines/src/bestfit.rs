@@ -1,0 +1,166 @@
+//! Best fit and worst fit — classic bin-packing references used by the
+//! workspace's ablation benches.
+//!
+//! Best fit follows \[10\]'s description quoted in the paper's
+//! introduction: "allocates a VM to the best-fit PM that has the minimum
+//! remaining resources after allocating the VM".
+
+use crate::{mean_variance, post_placement_profile};
+use prvm_model::{Cluster, PlacementAlgorithm, PlacementDecision, PmId, VmSpec};
+
+/// Chooses the used PM with the *least* remaining normalised capacity after
+/// placement (tightest fit).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BestFit;
+
+/// Chooses the used PM with the *most* remaining normalised capacity after
+/// placement (loosest fit).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorstFit;
+
+impl BestFit {
+    /// Create a best-fit placer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl WorstFit {
+    /// Create a worst-fit placer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+fn choose_by_mean(
+    cluster: &Cluster,
+    vm: &VmSpec,
+    exclude: &dyn Fn(PmId) -> bool,
+    highest: bool,
+) -> Option<PlacementDecision> {
+    let mut best: Option<(f64, PlacementDecision)> = None;
+    for pm in cluster.used_pms() {
+        if exclude(pm) {
+            continue;
+        }
+        let host = cluster.pm(pm);
+        if !host.has_aggregate_room(vm) {
+            continue;
+        }
+        let Some(assignment) = host.first_feasible(vm) else {
+            continue;
+        };
+        let (mean, _) = mean_variance(&post_placement_profile(host, vm, &assignment));
+        let better = match &best {
+            None => true,
+            Some((b, _)) => {
+                if highest {
+                    mean > *b
+                } else {
+                    mean < *b
+                }
+            }
+        };
+        if better {
+            best = Some((mean, PlacementDecision { pm, assignment }));
+        }
+    }
+    if let Some((_, d)) = best {
+        return Some(d);
+    }
+    cluster
+        .unused_pms()
+        .filter(|&pm| !exclude(pm))
+        .find_map(|pm| {
+            cluster
+                .pm(pm)
+                .first_feasible(vm)
+                .map(|assignment| PlacementDecision { pm, assignment })
+        })
+}
+
+impl PlacementAlgorithm for BestFit {
+    fn name(&self) -> &str {
+        "BestFit"
+    }
+
+    fn choose(
+        &mut self,
+        cluster: &Cluster,
+        vm: &VmSpec,
+        exclude: &dyn Fn(PmId) -> bool,
+    ) -> Option<PlacementDecision> {
+        choose_by_mean(cluster, vm, exclude, true)
+    }
+}
+
+impl PlacementAlgorithm for WorstFit {
+    fn name(&self) -> &str {
+        "WorstFit"
+    }
+
+    fn choose(
+        &mut self,
+        cluster: &Cluster,
+        vm: &VmSpec,
+        exclude: &dyn Fn(PmId) -> bool,
+    ) -> Option<PlacementDecision> {
+        choose_by_mean(cluster, vm, exclude, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prvm_model::{catalog, Cluster};
+
+    fn two_used_pms() -> Cluster {
+        let mut c = Cluster::homogeneous(catalog::pm_m3(), 3);
+        // PM 0 lightly loaded, PM 1 heavily loaded.
+        let small = catalog::vm_m3_medium();
+        let big = catalog::vm_m3_2xlarge();
+        let a = c.pm(PmId(0)).first_feasible(&small).unwrap();
+        c.place(PmId(0), small, a).unwrap();
+        let a = c.pm(PmId(1)).first_feasible(&big).unwrap();
+        c.place(PmId(1), big, a).unwrap();
+        c
+    }
+
+    #[test]
+    fn best_fit_picks_the_fuller_pm() {
+        let c = two_used_pms();
+        let d = BestFit::new()
+            .choose(&c, &catalog::vm_m3_medium(), &|_| false)
+            .unwrap();
+        assert_eq!(d.pm, PmId(1));
+    }
+
+    #[test]
+    fn worst_fit_picks_the_emptier_pm() {
+        let c = two_used_pms();
+        let d = WorstFit::new()
+            .choose(&c, &catalog::vm_m3_medium(), &|_| false)
+            .unwrap();
+        assert_eq!(d.pm, PmId(0));
+    }
+
+    #[test]
+    fn both_open_unused_pm_when_nothing_fits() {
+        let mut c = Cluster::homogeneous(catalog::pm_c3(), 2);
+        let vm = catalog::vm_c3_large();
+        for _ in 0..2 {
+            let a = c.pm(PmId(0)).first_feasible(&vm).unwrap();
+            c.place(PmId(0), vm.clone(), a).unwrap();
+        }
+        assert_eq!(
+            BestFit::new().choose(&c, &vm, &|_| false).unwrap().pm,
+            PmId(1)
+        );
+        assert_eq!(
+            WorstFit::new().choose(&c, &vm, &|_| false).unwrap().pm,
+            PmId(1)
+        );
+    }
+}

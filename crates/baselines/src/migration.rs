@@ -1,0 +1,120 @@
+//! Eviction policies for overloaded PMs.
+//!
+//! The paper runs the baselines with "the default VM migration algorithm in
+//! CloudSim" — the *Minimum Migration Time* policy of Beloglazov & Buyya:
+//! among an overloaded host's VMs, migrate the one that migrates fastest,
+//! i.e. the one with the least RAM. [`HighestDemandFirst`] is an
+//! alternative that clears the overload with the fewest evictions.
+
+use prvm_model::{EvictionPolicy, Mhz, Pm, VmId};
+
+/// CloudSim's default: evict the VM with the smallest memory footprint
+/// (fastest to migrate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinimumMigrationTime;
+
+impl MinimumMigrationTime {
+    /// Create the MMT policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl EvictionPolicy for MinimumMigrationTime {
+    fn name(&self) -> &str {
+        "MMT"
+    }
+
+    fn select(&mut self, pm: &Pm, _cpu_demand: &dyn Fn(VmId) -> Mhz) -> Option<VmId> {
+        pm.vms()
+            .min_by_key(|(id, vm, _)| (vm.memory, *id))
+            .map(|(id, _, _)| id)
+    }
+}
+
+/// Evicts the VM with the highest current CPU demand — clears the overload
+/// with as few migrations as possible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HighestDemandFirst;
+
+impl HighestDemandFirst {
+    /// Create the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl EvictionPolicy for HighestDemandFirst {
+    fn name(&self) -> &str {
+        "HighestDemandFirst"
+    }
+
+    fn select(&mut self, pm: &Pm, cpu_demand: &dyn Fn(VmId) -> Mhz) -> Option<VmId> {
+        pm.vms()
+            .max_by_key(|(id, _, _)| (cpu_demand(*id), std::cmp::Reverse(*id)))
+            .map(|(id, _, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prvm_model::{catalog, Cluster, PmId};
+
+    fn loaded_pm() -> (Cluster, VmId, VmId) {
+        let mut c = Cluster::homogeneous(catalog::pm_m3(), 1);
+        let small = catalog::vm_m3_medium(); // 3.75 GiB
+        let big = catalog::vm_m3_xlarge(); // 15 GiB
+        let a = c.pm(PmId(0)).first_feasible(&big).unwrap();
+        let big_id = c.place(PmId(0), big, a).unwrap();
+        let a = c.pm(PmId(0)).first_feasible(&small).unwrap();
+        let small_id = c.place(PmId(0), small, a).unwrap();
+        (c, big_id, small_id)
+    }
+
+    #[test]
+    fn mmt_evicts_smallest_memory() {
+        let (c, _big, small) = loaded_pm();
+        let mut mmt = MinimumMigrationTime::new();
+        let victim = mmt.select(c.pm(PmId(0)), &|_| Mhz::ZERO).unwrap();
+        assert_eq!(victim, small);
+    }
+
+    #[test]
+    fn hdf_evicts_highest_cpu_demand() {
+        let (c, big, _small) = loaded_pm();
+        let mut hdf = HighestDemandFirst::new();
+        // Give the big VM the higher live demand.
+        let victim = hdf
+            .select(c.pm(PmId(0)), &|id| if id == big { Mhz(2000) } else { Mhz(100) })
+            .unwrap();
+        assert_eq!(victim, big);
+    }
+
+    #[test]
+    fn empty_pm_selects_nothing() {
+        let c = Cluster::homogeneous(catalog::pm_m3(), 1);
+        assert_eq!(
+            MinimumMigrationTime::new().select(c.pm(PmId(0)), &|_| Mhz::ZERO),
+            None
+        );
+        assert_eq!(
+            HighestDemandFirst::new().select(c.pm(PmId(0)), &|_| Mhz::ZERO),
+            None
+        );
+    }
+
+    #[test]
+    fn mmt_ties_break_deterministically() {
+        let mut c = Cluster::homogeneous(catalog::pm_m3(), 1);
+        let vm = catalog::vm_m3_medium();
+        let a = c.pm(PmId(0)).first_feasible(&vm).unwrap();
+        let first = c.place(PmId(0), vm.clone(), a).unwrap();
+        let a = c.pm(PmId(0)).first_feasible(&vm).unwrap();
+        c.place(PmId(0), vm, a).unwrap();
+        let mut mmt = MinimumMigrationTime::new();
+        assert_eq!(mmt.select(c.pm(PmId(0)), &|_| Mhz::ZERO), Some(first));
+    }
+}

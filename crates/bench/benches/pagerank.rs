@@ -1,0 +1,84 @@
+//! Microbenchmarks of the core pipeline: profile-graph construction,
+//! PageRank iteration, BPRU, and full score-table builds at several
+//! quantizations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pagerankvm::{
+    compute_bpru, pagerank, GraphLimits, PageRankConfig, ProfileGraph, ProfileSpace, ProfileVm,
+    ScoreBook,
+};
+use prvm_model::{catalog, Quantizer};
+
+fn paper_vm_set() -> Vec<ProfileVm> {
+    vec![
+        ProfileVm::from_demands("[1,1]", vec![vec![1, 1]]),
+        ProfileVm::from_demands("[1,1,1,1]", vec![vec![1, 1, 1, 1]]),
+    ]
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph_build");
+    for dims in [4usize, 6, 8] {
+        g.bench_with_input(BenchmarkId::new("uniform_cap4", dims), &dims, |b, &dims| {
+            b.iter(|| {
+                ProfileGraph::build(
+                    ProfileSpace::uniform(dims, 4),
+                    paper_vm_set(),
+                    GraphLimits::default(),
+                )
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_pagerank(c: &mut Criterion) {
+    let graph = ProfileGraph::build(
+        ProfileSpace::uniform(8, 4),
+        paper_vm_set(),
+        GraphLimits::default(),
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("pagerank");
+    g.bench_function("iterate_8dim_cap4", |b| {
+        b.iter(|| pagerank(&graph, &PageRankConfig::default()));
+    });
+    g.bench_function("bpru_8dim_cap4", |b| {
+        b.iter(|| compute_bpru(&graph));
+    });
+    g.finish();
+}
+
+fn bench_score_book(c: &mut Criterion) {
+    let mut g = c.benchmark_group("score_book");
+    g.sample_size(10);
+    for (label, q) in [
+        (
+            "coarse",
+            Quantizer {
+                core_slots: 2,
+                mem_levels: 4,
+                disk_levels: 2,
+            },
+        ),
+        ("default", Quantizer::default()),
+    ] {
+        g.bench_function(BenchmarkId::new("ec2_catalog", label), |b| {
+            b.iter(|| {
+                ScoreBook::build(
+                    q,
+                    &catalog::ec2_pm_types(),
+                    &catalog::ec2_vm_types(),
+                    &PageRankConfig::default(),
+                    GraphLimits::default(),
+                )
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_graph_build, bench_pagerank, bench_score_book);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Placement-throughput benchmarks: `choose()` cost per algorithm on a
+//! loaded cluster — the paper's "low computational complexity" claim
+//! (§V-C), including the 2-choice variant's O(1) behaviour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prvm_model::{catalog, place_batch, Cluster};
+use prvm_sim::{ec2_score_book, Algorithm};
+
+/// A cluster pre-loaded with `n` VMs via first fit.
+fn loaded_cluster(n: usize) -> Cluster {
+    let mut cluster = Cluster::from_specs(
+        (0..n)
+            .map(|i| {
+                if i % 3 == 2 {
+                    catalog::pm_c3()
+                } else {
+                    catalog::pm_m3()
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
+    let types = catalog::ec2_vm_types();
+    let vms: Vec<_> = (0..n).map(|i| types[i % types.len()].clone()).collect();
+    place_batch(&mut prvm_baselines::FirstFit::new(), &mut cluster, vms)
+        .expect("pool sized for workload");
+    cluster
+}
+
+fn bench_choose(c: &mut Criterion) {
+    let book = ec2_score_book();
+    let mut g = c.benchmark_group("choose");
+    g.sample_size(30);
+    for n in [100usize, 400] {
+        let cluster = loaded_cluster(n);
+        let vm = catalog::vm_c3_xlarge();
+        for algo in [
+            Algorithm::PageRankVm,
+            Algorithm::TwoChoice,
+            Algorithm::FirstFit,
+            Algorithm::FfdSum,
+            Algorithm::CompVm,
+        ] {
+            g.bench_with_input(BenchmarkId::new(algo.name(), n), &cluster, |b, cluster| {
+                let (mut placer, _) = algo.build(&book, 7);
+                b.iter(|| {
+                    placer
+                        .choose(cluster, &vm, &|_| false)
+                        .expect("cluster has room")
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_batch_placement(c: &mut Criterion) {
+    let book = ec2_score_book();
+    let mut g = c.benchmark_group("place_batch_200vms");
+    g.sample_size(10);
+    let types = catalog::ec2_vm_types();
+    let vms: Vec<_> = (0..200).map(|i| types[i % types.len()].clone()).collect();
+    for algo in Algorithm::PAPER_SET {
+        g.bench_function(algo.name(), |b| {
+            b.iter(|| {
+                let mut cluster = Cluster::homogeneous(catalog::pm_m3(), 200);
+                let (mut placer, _) = algo.build(&book, 1);
+                place_batch(placer.as_mut(), &mut cluster, vms.clone()).unwrap();
+                cluster.active_pm_count()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_choose, bench_batch_placement);
+criterion_main!(benches);

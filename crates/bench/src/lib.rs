@@ -1,0 +1,419 @@
+//! Shared harness for the figure/table binaries (see DESIGN.md §3 for the
+//! experiment index).
+//!
+//! Figures 3 and 5–7 are different projections of the *same* simulation
+//! sweep, and Figures 4(a), 4(b) and 8 of the same testbed sweep, so the
+//! harness computes each sweep once and caches it as JSON under `target/`;
+//! every figure binary then prints its own table from the cache. Use
+//! `--fresh` to recompute.
+
+#![warn(missing_docs)]
+
+use prvm_sim::{Algorithm, MetricSummary, SimConfig};
+use prvm_testbed::{run_testbed, TestbedConfig, TestbedOutcome};
+use prvm_traces::stats::Percentiles;
+use prvm_traces::TraceKind;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Command-line options shared by every figure binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliArgs {
+    /// Repeats per configuration (paper: 100; default kept small so the
+    /// full harness finishes in minutes).
+    pub repeats: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// VM counts for the simulation sweep (paper: 1000, 2000, 3000).
+    pub vms: Vec<usize>,
+    /// Job counts for the testbed sweep (paper: up to 300).
+    pub jobs: Vec<usize>,
+    /// Ignore caches and recompute.
+    pub fresh: bool,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        Self {
+            repeats: 5,
+            seed: 42,
+            vms: vec![1000, 2000, 3000],
+            jobs: vec![100, 200, 300],
+            fresh: false,
+        }
+    }
+}
+
+impl CliArgs {
+    /// Parse `std::env::args()`-style flags: `--repeats N`, `--seed N`,
+    /// `--vms a,b,c`, `--jobs a,b,c`, `--fresh`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags.
+    #[must_use]
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        let usage = "usage: [--repeats N] [--seed N] [--vms a,b,c] [--jobs a,b,c] [--fresh]";
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> String {
+                it.next().unwrap_or_else(|| panic!("{name} needs a value; {usage}"))
+            };
+            match flag.as_str() {
+                "--repeats" => out.repeats = value("--repeats").parse().expect(usage),
+                "--seed" => out.seed = value("--seed").parse().expect(usage),
+                "--vms" => {
+                    out.vms = value("--vms")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect(usage))
+                        .collect();
+                }
+                "--jobs" => {
+                    out.jobs = value("--jobs")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect(usage))
+                        .collect();
+                }
+                "--fresh" => out.fresh = true,
+                other => panic!("unknown flag {other}; {usage}"),
+            }
+        }
+        out
+    }
+
+    /// Parse the process arguments (skipping argv\[0\]).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+}
+
+fn cache_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/prvm-results");
+    std::fs::create_dir_all(&dir).expect("create cache dir");
+    dir
+}
+
+fn load_cache<T: for<'de> Deserialize<'de>>(name: &str) -> Option<T> {
+    let path = cache_dir().join(name);
+    let bytes = std::fs::read(path).ok()?;
+    serde_json::from_slice(&bytes).ok()
+}
+
+fn store_cache<T: Serialize>(name: &str, value: &T) {
+    let path = cache_dir().join(name);
+    let json = serde_json::to_vec_pretty(value).expect("serializable results");
+    std::fs::write(&path, json).expect("write cache");
+    eprintln!("[cache] wrote {}", path.display());
+}
+
+/// The full simulation sweep behind Figs. 3, 5, 6 and 7: both traces, the
+/// paper's four algorithms, all VM counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimSweep {
+    /// One row per (trace, n_vms, algorithm).
+    pub rows: Vec<MetricSummary>,
+    /// Repeats the sweep was computed with.
+    pub repeats: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+/// Compute (or load) the simulation sweep.
+#[must_use]
+pub fn sim_sweep(args: &CliArgs) -> SimSweep {
+    let key = format!(
+        "sim-r{}-s{}-v{}.json",
+        args.repeats,
+        args.seed,
+        args.vms
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("_")
+    );
+    if !args.fresh {
+        if let Some(hit) = load_cache::<SimSweep>(&key) {
+            eprintln!("[cache] loaded {key} (pass --fresh to recompute)");
+            return hit;
+        }
+    }
+    let t0 = Instant::now();
+    eprintln!("[sweep] building Profile-PageRank score tables…");
+    let book = prvm_sim::ec2_score_book();
+    let sim = SimConfig::default();
+    let mut rows = Vec::new();
+    for kind in [TraceKind::PlanetLab, TraceKind::GoogleCluster] {
+        for &n in &args.vms {
+            for algo in Algorithm::PAPER_SET {
+                let t = Instant::now();
+                let row = prvm_sim::run_repeats(
+                    algo,
+                    &book,
+                    &sim,
+                    &prvm_sim::WorkloadConfig::sized_for(n, kind),
+                    args.repeats,
+                    args.seed,
+                );
+                eprintln!(
+                    "[sweep] {:12} {:>5} VMs {:14} pms={:6.1} init={:6.1} peak={:6.1} migr={:8.1} ({:.1?})",
+                    kind.label(),
+                    n,
+                    row.algorithm,
+                    row.pms_used.median,
+                    row.pms_used_initial.median,
+                    row.pms_used_max_active.median,
+                    row.migrations.median,
+                    t.elapsed()
+                );
+                rows.push(row);
+            }
+        }
+    }
+    eprintln!("[sweep] total {:.1?}", t0.elapsed());
+    let sweep = SimSweep {
+        rows,
+        repeats: args.repeats,
+        seed: args.seed,
+    };
+    store_cache(&key, &sweep);
+    sweep
+}
+
+/// One testbed configuration's percentile summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TestbedSummary {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Nodes used by the initial allocation (Fig. 4(a)).
+    pub pms_used_initial: Percentiles,
+    /// Distinct nodes ever used (initial + migration targets).
+    pub pms_used: Percentiles,
+    /// Kill-and-restart migrations (Fig. 4(b)).
+    pub migrations: Percentiles,
+    /// SLO violation percentage (Fig. 8).
+    pub slo_pct: Percentiles,
+    /// Mean rejected jobs.
+    pub mean_rejected: f64,
+}
+
+/// The full testbed sweep behind Figs. 4 and 8.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TestbedSweep {
+    /// One row per (jobs, algorithm).
+    pub rows: Vec<TestbedSummary>,
+    /// Repeats.
+    pub repeats: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+/// Compute (or load) the testbed sweep.
+#[must_use]
+pub fn testbed_sweep(args: &CliArgs) -> TestbedSweep {
+    let key = format!(
+        "testbed-r{}-s{}-j{}.json",
+        args.repeats,
+        args.seed,
+        args.jobs
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("_")
+    );
+    if !args.fresh {
+        if let Some(hit) = load_cache::<TestbedSweep>(&key) {
+            eprintln!("[cache] loaded {key} (pass --fresh to recompute)");
+            return hit;
+        }
+    }
+    let cfg = TestbedConfig::default();
+    eprintln!("[testbed] building score table for the GENI node…");
+    let book = Arc::new(cfg.score_book().expect("testbed graph builds"));
+    let mut rows = Vec::new();
+    for &jobs in &args.jobs {
+        for algo in Algorithm::PAPER_SET {
+            let t = Instant::now();
+            let outcomes: Vec<TestbedOutcome> = (0..args.repeats)
+                .map(|r| {
+                    let seed = args.seed.wrapping_add(r as u64);
+                    let (mut placer, mut evictor) = algo.build(&book, seed);
+                    run_testbed(&cfg, jobs, placer.as_mut(), evictor.as_mut(), seed)
+                })
+                .collect();
+            let p = |f: &dyn Fn(&TestbedOutcome) -> f64| {
+                Percentiles::of(&outcomes.iter().map(f).collect::<Vec<_>>())
+            };
+            let row = TestbedSummary {
+                algorithm: algo.name().to_string(),
+                jobs,
+                pms_used_initial: p(&|o| o.pms_used_initial as f64),
+                pms_used: p(&|o| o.pms_used as f64),
+                migrations: p(&|o| o.migrations as f64),
+                slo_pct: p(&|o| o.slo_violation_pct),
+                mean_rejected: outcomes.iter().map(|o| o.rejected_jobs as f64).sum::<f64>()
+                    / args.repeats.max(1) as f64,
+            };
+            eprintln!(
+                "[testbed] {:>4} jobs {:14} nodes={:4.1} migr={:7.1} slo={:5.2}% ({:.1?})",
+                jobs,
+                row.algorithm,
+                row.pms_used.median,
+                row.migrations.median,
+                row.slo_pct.median,
+                t.elapsed()
+            );
+            rows.push(row);
+        }
+    }
+    let sweep = TestbedSweep {
+        rows,
+        repeats: args.repeats,
+        seed: args.seed,
+    };
+    store_cache(&key, &sweep);
+    sweep
+}
+
+/// Print one figure's table: rows = VM counts, columns = algorithms,
+/// cells = `median (p1–p99)`.
+pub fn print_metric_table(
+    title: &str,
+    rows: &[MetricSummary],
+    trace: &str,
+    metric: impl Fn(&MetricSummary) -> Percentiles,
+) {
+    println!("\n=== {title} — {trace} trace ===");
+    let algos: Vec<String> = {
+        let mut v: Vec<String> = rows.iter().map(|r| r.algorithm.clone()).collect();
+        v.dedup();
+        v.sort();
+        v.dedup();
+        // Keep the paper's plotting order where possible.
+        let order = ["PageRankVM", "CompVM", "FFDSum", "FF"];
+        let mut sorted: Vec<String> = order
+            .iter()
+            .filter(|o| v.iter().any(|a| a == *o))
+            .map(ToString::to_string)
+            .collect();
+        for a in v {
+            if !sorted.contains(&a) {
+                sorted.push(a);
+            }
+        }
+        sorted
+    };
+    print!("{:>8}", "#VMs");
+    for a in &algos {
+        print!(" | {a:>26}");
+    }
+    println!();
+    let mut ns: Vec<usize> = rows.iter().filter(|r| r.trace == trace).map(|r| r.n_vms).collect();
+    ns.sort_unstable();
+    ns.dedup();
+    for n in ns {
+        print!("{n:>8}");
+        for a in &algos {
+            let cell = rows
+                .iter()
+                .find(|r| r.trace == trace && r.n_vms == n && &r.algorithm == a)
+                .map_or_else(
+                    || format!("{:>26}", "-"),
+                    |r| {
+                        let p = metric(r);
+                        if p.p99 < 10.0 {
+                            format!("{:>10.2} ({:>5.2}–{:>6.2})", p.median, p.p1, p.p99)
+                        } else {
+                            format!("{:>10.1} ({:>5.1}–{:>6.1})", p.median, p.p1, p.p99)
+                        }
+                    },
+                );
+            print!(" | {cell}");
+        }
+        println!();
+    }
+}
+
+/// Print a testbed figure's table.
+pub fn print_testbed_table(
+    title: &str,
+    rows: &[TestbedSummary],
+    metric: impl Fn(&TestbedSummary) -> Percentiles,
+) {
+    println!("\n=== {title} — GENI testbed emulation (Google trace) ===");
+    let order = ["PageRankVM", "CompVM", "FFDSum", "FF"];
+    print!("{:>8}", "#VMs");
+    for a in order {
+        print!(" | {a:>22}");
+    }
+    println!();
+    let mut js: Vec<usize> = rows.iter().map(|r| r.jobs).collect();
+    js.sort_unstable();
+    js.dedup();
+    for j in js {
+        print!("{j:>8}");
+        for a in order {
+            let cell = rows
+                .iter()
+                .find(|r| r.jobs == j && r.algorithm == a)
+                .map_or_else(
+                    || format!("{:>22}", "-"),
+                    |r| {
+                        let p = metric(r);
+                        format!("{:>8.1} ({:>4.1}–{:>5.1})", p.median, p.p1, p.p99)
+                    },
+                );
+            print!(" | {cell}");
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_defaults() {
+        let a = CliArgs::parse(std::iter::empty());
+        assert_eq!(a, CliArgs::default());
+    }
+
+    #[test]
+    fn cli_parses_flags() {
+        let a = CliArgs::parse(
+            ["--repeats", "9", "--seed", "7", "--vms", "10,20", "--fresh"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(a.repeats, 9);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.vms, vec![10, 20]);
+        assert!(a.fresh);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn cli_rejects_unknown_flags() {
+        let _ = CliArgs::parse(["--bogus".to_string()]);
+    }
+
+    #[test]
+    fn cache_round_trip() {
+        let sweep = TestbedSweep {
+            rows: vec![],
+            repeats: 1,
+            seed: 2,
+        };
+        store_cache("test-roundtrip.json", &sweep);
+        let back: TestbedSweep = load_cache("test-roundtrip.json").unwrap();
+        assert_eq!(back.repeats, 1);
+        assert_eq!(back.seed, 2);
+    }
+}

@@ -1,0 +1,296 @@
+//! Subcommand implementations and minimal flag parsing.
+
+use pagerankvm::{
+    paths_to_best, rank_stats, top_profiles, GraphLimits, PageRankConfig, ProfileSpace,
+    ProfileVm, ScoreTable,
+};
+use prvm_model::catalog;
+use prvm_sim::{build_cluster, simulate_traced, Algorithm, SimConfig, Workload, WorkloadConfig};
+use prvm_testbed::{run_testbed, TestbedConfig};
+use prvm_traces::TraceKind;
+use std::sync::Arc;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+pagerankvm — PageRank-based VM placement (ICDCS'18 reproduction)
+
+commands:
+  rank      [--dims 4] [--cap 4] [--profile a,b,c,d]
+            build the paper's example score table; show stats, the top
+            profiles, and (with --profile) one profile's score and its
+            number of paths to the best profile
+  place     --vms N [--algo NAME] [--seed N]
+            place a seeded EC2-mix workload; print PMs used
+  simulate  --vms N [--algo NAME] [--seed N] [--hours H] [--csv FILE]
+            run the trace-driven simulation; print the four metrics and
+            optionally dump the per-scan time series as CSV
+  testbed   --jobs N [--algo NAME] [--seed N] [--minutes M]
+            run the emulated GENI testbed
+
+algorithms: pagerankvm (default), 2choice, ff, ffdsum, compvm, bestfit,
+worstfit";
+
+/// Parse `--key value` pairs (plus bare `--flag` booleans).
+fn flags(args: &[String]) -> Result<Vec<(String, Option<String>)>, String> {
+    let mut out = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let key = a
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got `{a}`"))?;
+        let value = match it.peek() {
+            Some(v) if !v.starts_with("--") => Some(it.next().expect("peeked").clone()),
+            _ => None,
+        };
+        out.push((key.to_string(), value));
+    }
+    Ok(out)
+}
+
+fn get<'a>(flags: &'a [(String, Option<String>)], key: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.as_deref())
+}
+
+fn parse<T: std::str::FromStr>(
+    flags: &[(String, Option<String>)],
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match get(flags, key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+    }
+}
+
+fn algo(flags: &[(String, Option<String>)]) -> Result<Algorithm, String> {
+    Ok(match get(flags, "algo").unwrap_or("pagerankvm") {
+        "pagerankvm" => Algorithm::PageRankVm,
+        "2choice" => Algorithm::TwoChoice,
+        "ff" => Algorithm::FirstFit,
+        "ffdsum" => Algorithm::FfdSum,
+        "compvm" => Algorithm::CompVm,
+        "bestfit" => Algorithm::BestFit,
+        "worstfit" => Algorithm::WorstFit,
+        other => return Err(format!("unknown algorithm `{other}`")),
+    })
+}
+
+/// `pagerankvm rank`.
+pub fn rank(args: &[String]) -> Result<(), String> {
+    let f = flags(args)?;
+    let dims: usize = parse(&f, "dims", 4)?;
+    let cap: u16 = parse(&f, "cap", 4)?;
+    if dims == 0 || cap == 0 {
+        return Err("--dims and --cap must be positive".into());
+    }
+
+    let table = ScoreTable::build(
+        ProfileSpace::uniform(dims, cap),
+        vec![
+            ProfileVm::from_demands("[1,1]", vec![vec![1; 2.min(dims)]]),
+            ProfileVm::from_demands("[1x dims]", vec![vec![1; dims]]),
+        ],
+        &PageRankConfig::default(),
+        GraphLimits::default(),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let stats = rank_stats(&table);
+    println!(
+        "profile space: {dims} dims x cap {cap}; {} reachable profiles, {} edges",
+        stats.profiles,
+        table.graph().edge_count()
+    );
+    println!(
+        "scores: min {:.3e}, mean {:.3e}, max {:.3e}; {:.0}% of profiles can still reach the best profile",
+        stats.min,
+        stats.mean,
+        stats.max,
+        stats.best_reaching_fraction * 100.0
+    );
+
+    if let Some(spec) = get(&f, "profile") {
+        let raw: Vec<u64> = spec
+            .split(',')
+            .map(|s| s.trim().parse().map_err(|_| format!("bad profile `{spec}`")))
+            .collect::<Result<_, _>>()?;
+        if raw.len() != dims {
+            return Err(format!("--profile needs {dims} values"));
+        }
+        let p = table.space().canonicalize(&[&raw]);
+        match table.score(&p) {
+            Some(s) => {
+                let paths = paths_to_best(table.graph()).expect("best profile reachable");
+                let node = table.graph().node(&p).expect("scored implies present");
+                println!(
+                    "profile {p}: score {:.6e}, {} path(s) to the best profile",
+                    s, paths[node as usize]
+                );
+            }
+            None => println!("profile {p} is not reachable by the VM set"),
+        }
+    } else {
+        println!("\ntop profiles:");
+        for (p, s) in top_profiles(&table, 8) {
+            println!("  {p}  {:.6e}", s);
+        }
+    }
+    Ok(())
+}
+
+/// `pagerankvm place`.
+pub fn place(args: &[String]) -> Result<(), String> {
+    let f = flags(args)?;
+    let n: usize = parse(&f, "vms", 100)?;
+    let seed: u64 = parse(&f, "seed", 42)?;
+    let algorithm = algo(&f)?;
+    if n == 0 {
+        return Err("--vms must be positive".into());
+    }
+
+    let book = prvm_sim::ec2_score_book();
+    let wl = WorkloadConfig::sized_for(n, TraceKind::PlanetLab);
+    let workload = Workload::generate(&wl, 1, seed);
+    let mut cluster = build_cluster(&wl);
+    let (mut placer, _) = algorithm.build(&book, seed);
+    let mut specs = workload.specs.clone();
+    placer.order_batch(&mut specs);
+    let ids =
+        prvm_model::place_batch(placer.as_mut(), &mut cluster, specs).map_err(|e| e.to_string())?;
+    println!(
+        "{}: placed {} VMs on {} PMs (pool of {})",
+        algorithm.name(),
+        ids.len(),
+        cluster.active_pm_count(),
+        cluster.len()
+    );
+    // Per-type PM utilization summary.
+    for pm_type in catalog::ec2_pm_types() {
+        let (count, cpu): (usize, f64) = cluster
+            .used_pms()
+            .map(|id| cluster.pm(id))
+            .filter(|pm| pm.spec().name == pm_type.name)
+            .fold((0, 0.0), |(c, u), pm| (c + 1, u + pm.cpu_utilization()));
+        if count > 0 {
+            println!(
+                "  {}: {count} used, mean reserved CPU {:.0}%",
+                pm_type.name,
+                cpu / count as f64 * 100.0
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `pagerankvm simulate`.
+pub fn simulate(args: &[String]) -> Result<(), String> {
+    let f = flags(args)?;
+    let n: usize = parse(&f, "vms", 100)?;
+    let seed: u64 = parse(&f, "seed", 42)?;
+    let hours: u64 = parse(&f, "hours", 24)?;
+    let algorithm = algo(&f)?;
+
+    let sim = SimConfig {
+        horizon_s: hours * 3600,
+        ..SimConfig::default()
+    };
+    let wl = WorkloadConfig::sized_for(n, TraceKind::PlanetLab);
+    let workload = Workload::generate(&wl, sim.scans(), seed);
+    let book = prvm_sim::ec2_score_book();
+    let (mut placer, mut evictor) = algorithm.build(&book, seed);
+    let (o, ts) = simulate_traced(
+        &sim,
+        build_cluster(&wl),
+        &workload,
+        placer.as_mut(),
+        evictor.as_mut(),
+    );
+    println!("{} over {hours} h, {n} VMs (seed {seed}):", algorithm.name());
+    println!("  PMs used (allocation): {}", o.pms_used_initial);
+    println!("  PMs ever used:         {}", o.pms_used);
+    println!("  energy:                {:.1} kWh", o.energy_kwh);
+    println!("  migrations:            {}", o.migrations);
+    println!("  SLO violations:        {:.3} %", o.slo_violation_pct);
+    println!("  overloaded scans:      {}", o.overload_events);
+
+    if let Some(path) = get(&f, "csv") {
+        let mut file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        ts.write_csv(&mut file).map_err(|e| e.to_string())?;
+        println!("  per-scan time series written to {path}");
+    }
+    Ok(())
+}
+
+/// `pagerankvm testbed`.
+pub fn testbed(args: &[String]) -> Result<(), String> {
+    let f = flags(args)?;
+    let jobs: usize = parse(&f, "jobs", 150)?;
+    let seed: u64 = parse(&f, "seed", 42)?;
+    let minutes: u64 = parse(&f, "minutes", 240)?;
+    let algorithm = algo(&f)?;
+
+    let cfg = TestbedConfig {
+        duration_s: minutes * 60,
+        ..TestbedConfig::default()
+    };
+    let book = Arc::new(cfg.score_book().map_err(|e| e.to_string())?);
+    let (mut placer, mut evictor) = algorithm.build(&book, seed);
+    let o = run_testbed(&cfg, jobs, placer.as_mut(), evictor.as_mut(), seed);
+    println!(
+        "{} on the emulated GENI testbed ({} nodes, {} min, {jobs} jobs, seed {seed}):",
+        algorithm.name(),
+        cfg.nodes,
+        minutes
+    );
+    println!("  nodes used (allocation): {}", o.pms_used_initial);
+    println!("  nodes ever used:         {}", o.pms_used);
+    println!("  kill/restart migrations: {}", o.migrations);
+    println!("  SLO violations:          {:.2} %", o.slo_violation_pct);
+    println!("  rejected jobs:           {}", o.rejected_jobs);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let f = flags(&s(&["--vms", "10", "--fresh", "--seed", "7"])).unwrap();
+        assert_eq!(get(&f, "vms"), Some("10"));
+        assert_eq!(get(&f, "fresh"), None);
+        assert_eq!(parse(&f, "seed", 0u64).unwrap(), 7);
+        assert_eq!(parse(&f, "missing", 3u64).unwrap(), 3);
+        assert!(flags(&s(&["vms"])).is_err());
+    }
+
+    #[test]
+    fn algorithm_lookup() {
+        let f = flags(&s(&["--algo", "compvm"])).unwrap();
+        assert_eq!(algo(&f).unwrap(), Algorithm::CompVm);
+        let f = flags(&s(&[])).unwrap();
+        assert_eq!(algo(&f).unwrap(), Algorithm::PageRankVm);
+        let f = flags(&s(&["--algo", "nope"])).unwrap();
+        assert!(algo(&f).is_err());
+    }
+
+    #[test]
+    fn rank_command_runs() {
+        rank(&s(&["--dims", "4", "--cap", "4", "--profile", "3,3,2,2"])).unwrap();
+        rank(&s(&["--dims", "3", "--cap", "3"])).unwrap();
+        assert!(rank(&s(&["--profile", "1,2"])).is_err()); // wrong arity
+        assert!(rank(&s(&["--cap", "0"])).is_err());
+    }
+
+    #[test]
+    fn place_command_runs_small() {
+        place(&s(&["--vms", "12", "--algo", "ff", "--seed", "1"])).unwrap();
+    }
+}

@@ -1,0 +1,38 @@
+//! `pagerankvm` — command-line front end for the reproduction.
+//!
+//! ```text
+//! pagerankvm rank  [--profile 3,3,2,2] [--cap 4] [--dims 4]
+//! pagerankvm place --vms 200 [--algo pagerankvm|ff|ffdsum|compvm] [--seed N]
+//! pagerankvm simulate --vms 200 [--algo …] [--seed N] [--hours H] [--csv FILE]
+//! pagerankvm testbed --jobs 150 [--algo …] [--seed N]
+//! ```
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "rank" => commands::rank(rest),
+        "place" => commands::place(rest),
+        "simulate" => commands::simulate(rest),
+        "testbed" => commands::testbed(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! The profile graph (Algorithm 1, line 1).
+//!
+//! Nodes are PM usage profiles; an edge `A → B` means "profile `A` becomes
+//! profile `B` by accommodating one VM from the VM-type set" (in any
+//! permutation of the VM's anti-collocated demands). The graph is built by
+//! breadth-first search from the empty profile, so it contains exactly the
+//! profiles reachable by some placement sequence — every state a PM managed
+//! by PageRankVM can be in.
+//!
+//! The graph is a DAG: every edge strictly increases total usage (VM demands
+//! are positive), which `bpru` exploits for a linear-time reverse-topological
+//! sweep.
+
+use crate::profile::{Profile, ProfileSpace, ProfileVm};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Node handle inside a [`ProfileGraph`].
+pub type NodeId = u32;
+
+/// Construction limits guarding against a quantization that explodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphLimits {
+    /// Refuse to grow past this many nodes.
+    pub max_nodes: usize,
+}
+
+impl Default for GraphLimits {
+    fn default() -> Self {
+        Self {
+            max_nodes: 2_000_000,
+        }
+    }
+}
+
+/// Failure to build a profile graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The reachable profile space exceeds [`GraphLimits::max_nodes`];
+    /// choose a coarser [`prvm_model::Quantizer`].
+    TooLarge {
+        /// The configured bound that was hit.
+        max_nodes: usize,
+    },
+    /// No VM type fits the empty profile — the graph would be a single
+    /// node and every rank degenerate.
+    NoUsableVmTypes,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooLarge { max_nodes } => write!(
+                f,
+                "profile graph exceeds {max_nodes} nodes; use a coarser quantizer"
+            ),
+            Self::NoUsableVmTypes => write!(f, "no VM type fits the empty profile"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// The profile graph for one PM type and one VM-type set.
+#[derive(Debug, Clone)]
+pub struct ProfileGraph {
+    space: ProfileSpace,
+    vm_types: Vec<ProfileVm>,
+    nodes: Vec<Profile>,
+    index: HashMap<Profile, NodeId>,
+    /// CSR adjacency: successors of node `i` are
+    /// `succ[succ_off[i]..succ_off[i+1]]`, sorted and deduplicated.
+    succ: Vec<NodeId>,
+    succ_off: Vec<usize>,
+    util: Vec<f64>,
+}
+
+impl ProfileGraph {
+    /// Build the graph over **every** canonical profile of the space (not
+    /// just those reachable from empty). This is the space of the paper's
+    /// motivation section, which reasons about arbitrary profiles such as
+    /// `[4,3,3,3]` that no sequence of in-catalog VMs produces. Placement
+    /// only ever needs the reachable graph ([`Self::build`]), which is
+    /// smaller.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::build`].
+    pub fn build_full(
+        space: ProfileSpace,
+        vm_types: Vec<ProfileVm>,
+        limits: GraphLimits,
+    ) -> Result<Self, GraphError> {
+        let empty = space.empty_profile();
+        let usable: Vec<ProfileVm> = vm_types
+            .into_iter()
+            .filter(|vm| !space.place(&empty, vm).is_empty())
+            .collect();
+        if usable.is_empty() {
+            return Err(GraphError::NoUsableVmTypes);
+        }
+
+        // Enumerate all canonical profiles: per kind, every non-decreasing
+        // sequence of length `count` over `0..=cap`; then the product.
+        let mut per_kind: Vec<Vec<Vec<u16>>> = Vec::new();
+        for k in space.kinds() {
+            let mut seqs: Vec<Vec<u16>> = Vec::new();
+            let mut cur = Vec::with_capacity(k.count);
+            fn rec(cap: u16, len: usize, min: u16, cur: &mut Vec<u16>, out: &mut Vec<Vec<u16>>) {
+                if cur.len() == len {
+                    out.push(cur.clone());
+                    return;
+                }
+                for v in min..=cap {
+                    cur.push(v);
+                    rec(cap, len, v, cur, out);
+                    cur.pop();
+                }
+            }
+            rec(k.cap, k.count, 0, &mut cur, &mut seqs);
+            per_kind.push(seqs);
+        }
+        let total: usize = per_kind.iter().map(Vec::len).product();
+        if total > limits.max_nodes {
+            return Err(GraphError::TooLarge {
+                max_nodes: limits.max_nodes,
+            });
+        }
+
+        let mut nodes: Vec<Profile> = Vec::with_capacity(total);
+        let mut flat = vec![0u16; space.dims()];
+        let offsets: Vec<usize> = {
+            let mut v = vec![0usize];
+            for k in space.kinds() {
+                v.push(v.last().unwrap() + k.count);
+            }
+            v
+        };
+        fn cartesian(
+            per_kind: &[Vec<Vec<u16>>],
+            offsets: &[usize],
+            kind: usize,
+            flat: &mut [u16],
+            space: &ProfileSpace,
+            nodes: &mut Vec<Profile>,
+        ) {
+            if kind == per_kind.len() {
+                let parts: Vec<Vec<u64>> = (0..per_kind.len())
+                    .map(|k| {
+                        flat[offsets[k]..offsets[k + 1]]
+                            .iter()
+                            .map(|&v| u64::from(v))
+                            .collect()
+                    })
+                    .collect();
+                let refs: Vec<&[u64]> = parts.iter().map(Vec::as_slice).collect();
+                nodes.push(space.canonicalize(&refs));
+                return;
+            }
+            for seq in &per_kind[kind] {
+                flat[offsets[kind]..offsets[kind + 1]].copy_from_slice(seq);
+                cartesian(per_kind, offsets, kind + 1, flat, space, nodes);
+            }
+        }
+        cartesian(&per_kind, &offsets, 0, &mut flat, &space, &mut nodes);
+
+        let mut index: HashMap<Profile, NodeId> = HashMap::with_capacity(nodes.len());
+        for (i, p) in nodes.iter().enumerate() {
+            index.insert(p.clone(), i as NodeId);
+        }
+
+        let mut succ: Vec<NodeId> = Vec::new();
+        let mut succ_off: Vec<usize> = vec![0];
+        let mut buf: Vec<NodeId> = Vec::new();
+        for node in &nodes {
+            buf.clear();
+            for vm in &usable {
+                for out in space.place(node, vm) {
+                    buf.push(index[&out]);
+                }
+            }
+            buf.sort_unstable();
+            buf.dedup();
+            succ.extend_from_slice(&buf);
+            succ_off.push(succ.len());
+        }
+
+        let util = nodes.iter().map(|p| space.utilization(p)).collect();
+        Ok(Self {
+            space,
+            vm_types: usable,
+            nodes,
+            index,
+            succ,
+            succ_off,
+            util,
+        })
+    }
+
+    /// Build the graph by BFS from the empty profile.
+    ///
+    /// VM types that cannot fit even an empty PM are ignored (they would
+    /// contribute no edges).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::TooLarge`] if the reachable space exceeds the limit;
+    /// [`GraphError::NoUsableVmTypes`] if no VM type fits an empty PM.
+    pub fn build(
+        space: ProfileSpace,
+        vm_types: Vec<ProfileVm>,
+        limits: GraphLimits,
+    ) -> Result<Self, GraphError> {
+        let empty = space.empty_profile();
+        let usable: Vec<ProfileVm> = vm_types
+            .into_iter()
+            .filter(|vm| !space.place(&empty, vm).is_empty())
+            .collect();
+        if usable.is_empty() {
+            return Err(GraphError::NoUsableVmTypes);
+        }
+
+        let mut nodes: Vec<Profile> = vec![empty.clone()];
+        let mut index: HashMap<Profile, NodeId> = HashMap::new();
+        index.insert(empty, 0);
+        let mut succ: Vec<NodeId> = Vec::new();
+        let mut succ_off: Vec<usize> = vec![0];
+
+        // BFS frontier is implicit: nodes are processed in insertion order,
+        // and every edge target has total usage greater than its source, so
+        // each node is fully expanded exactly once.
+        let mut cursor = 0usize;
+        let mut buf: Vec<NodeId> = Vec::new();
+        while cursor < nodes.len() {
+            buf.clear();
+            let node = nodes[cursor].clone();
+            for vm in &usable {
+                for out in space.place(&node, vm) {
+                    let id = match index.get(&out) {
+                        Some(&id) => id,
+                        None => {
+                            if nodes.len() >= limits.max_nodes {
+                                return Err(GraphError::TooLarge {
+                                    max_nodes: limits.max_nodes,
+                                });
+                            }
+                            let id = nodes.len() as NodeId;
+                            index.insert(out.clone(), id);
+                            nodes.push(out);
+                            id
+                        }
+                    };
+                    buf.push(id);
+                }
+            }
+            buf.sort_unstable();
+            buf.dedup();
+            succ.extend_from_slice(&buf);
+            succ_off.push(succ.len());
+            cursor += 1;
+        }
+
+        let util = nodes.iter().map(|p| space.utilization(p)).collect();
+        Ok(Self {
+            space,
+            vm_types: usable,
+            nodes,
+            index,
+            succ,
+            succ_off,
+            util,
+        })
+    }
+
+    /// The space this graph lives in.
+    #[must_use]
+    pub fn space(&self) -> &ProfileSpace {
+        &self.space
+    }
+
+    /// The VM types that contribute edges.
+    #[must_use]
+    pub fn vm_types(&self) -> &[ProfileVm] {
+        &self.vm_types
+    }
+
+    /// Number of nodes (`N` in Equ. (12)).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of (deduplicated) edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// The profile of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn profile(&self, id: NodeId) -> &Profile {
+        &self.nodes[id as usize]
+    }
+
+    /// Node id of a profile, if reachable.
+    #[must_use]
+    pub fn node(&self, profile: &Profile) -> Option<NodeId> {
+        self.index.get(profile).copied()
+    }
+
+    /// Successors of a node: `S(P_i)`, the profiles derived by
+    /// accommodating one more VM (Algorithm 1, line 8).
+    #[must_use]
+    pub fn successors(&self, id: NodeId) -> &[NodeId] {
+        &self.succ[self.succ_off[id as usize]..self.succ_off[id as usize + 1]]
+    }
+
+    /// Resource utilization of a node's profile.
+    #[must_use]
+    pub fn utilization(&self, id: NodeId) -> f64 {
+        self.util[id as usize]
+    }
+
+    /// `true` if the node has no successors — no VM type fits any more.
+    /// These are the "endpoints" of the BPRU definition.
+    #[must_use]
+    pub fn is_endpoint(&self, id: NodeId) -> bool {
+        self.successors(id).is_empty()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.nodes.len() as NodeId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example: capacity [4,4,4,4] and VM set
+    /// {[1,1], [1,1,1,1]}.
+    fn paper_graph() -> ProfileGraph {
+        let space = ProfileSpace::uniform(4, 4);
+        let vms = vec![
+            ProfileVm::from_demands("[1,1]", vec![vec![1, 1]]),
+            ProfileVm::from_demands("[1,1,1,1]", vec![vec![1, 1, 1, 1]]),
+        ];
+        ProfileGraph::build(space, vms, GraphLimits::default()).unwrap()
+    }
+
+    #[test]
+    fn paper_example_graph_structure() {
+        let g = paper_graph();
+        // Nodes are the multisets of {0..4}^4 reachable by sums of the two
+        // VM shapes; the best profile is reachable.
+        let best = g.space().best_profile();
+        assert!(g.node(&best).is_some());
+        // Empty profile is node 0 with successors {[1,1,0,0],[1,1,1,1]}.
+        let empty = g.space().empty_profile();
+        let n0 = g.node(&empty).unwrap();
+        assert_eq!(n0, 0);
+        let succs: Vec<&Profile> = g.successors(n0).iter().map(|&s| g.profile(s)).collect();
+        assert_eq!(succs.len(), 2);
+        // The best profile is an endpoint.
+        assert!(g.is_endpoint(g.node(&best).unwrap()));
+    }
+
+    #[test]
+    fn all_nodes_reachable_have_monotone_edges() {
+        let g = paper_graph();
+        for id in g.node_ids() {
+            let from: u64 = g.profile(id).values().iter().map(|&v| u64::from(v)).sum();
+            for &s in g.successors(id) {
+                let to: u64 = g.profile(s).values().iter().map(|&v| u64::from(v)).sum();
+                assert!(to > from, "edge must strictly increase usage");
+            }
+        }
+    }
+
+    #[test]
+    fn successor_sets_are_sorted_and_deduped() {
+        let g = paper_graph();
+        for id in g.node_ids() {
+            let s = g.successors(id);
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn quality_example_profiles_exist() {
+        // §V-A compares [4,4,2,2] and [3,3,3,3]; both must be reachable.
+        let g = paper_graph();
+        let s = g.space();
+        assert!(g.node(&s.canonicalize(&[&[4, 4, 2, 2]])).is_some());
+        assert!(g.node(&s.canonicalize(&[&[3, 3, 3, 3]])).is_some());
+    }
+
+    #[test]
+    fn unusable_vm_types_are_dropped() {
+        let space = ProfileSpace::uniform(2, 2);
+        let vms = vec![
+            ProfileVm::from_demands("fits", vec![vec![1]]),
+            ProfileVm::from_demands("too-big", vec![vec![3]]),
+        ];
+        let g = ProfileGraph::build(space, vms, GraphLimits::default()).unwrap();
+        assert_eq!(g.vm_types().len(), 1);
+        assert_eq!(g.vm_types()[0].name, "fits");
+    }
+
+    #[test]
+    fn empty_vm_set_is_an_error() {
+        let space = ProfileSpace::uniform(2, 2);
+        let vms = vec![ProfileVm::from_demands("too-big", vec![vec![3]])];
+        let err = ProfileGraph::build(space, vms, GraphLimits::default()).unwrap_err();
+        assert_eq!(err, GraphError::NoUsableVmTypes);
+    }
+
+    #[test]
+    fn node_limit_is_enforced() {
+        let space = ProfileSpace::uniform(4, 4);
+        let vms = vec![ProfileVm::from_demands("[1]", vec![vec![1]])];
+        let err = ProfileGraph::build(space, vms, GraphLimits { max_nodes: 5 }).unwrap_err();
+        assert_eq!(err, GraphError::TooLarge { max_nodes: 5 });
+    }
+
+    #[test]
+    fn single_unit_vm_reaches_every_multiset() {
+        // With VM type [1], every multiset of {0..2}^2 is reachable:
+        // C(2+2,2) = 6 nodes.
+        let space = ProfileSpace::uniform(2, 2);
+        let vms = vec![ProfileVm::from_demands("[1]", vec![vec![1]])];
+        let g = ProfileGraph::build(space, vms, GraphLimits::default()).unwrap();
+        assert_eq!(g.node_count(), 6);
+        // Endpoint: only [2,2].
+        let endpoints: Vec<NodeId> = g.node_ids().filter(|&n| g.is_endpoint(n)).collect();
+        assert_eq!(endpoints.len(), 1);
+        assert_eq!(g.profile(endpoints[0]), &g.space().best_profile());
+    }
+}

@@ -1,0 +1,70 @@
+//! # PageRankVM
+//!
+//! A reproduction of *"PageRankVM: A PageRank Based Algorithm with
+//! Anti-Collocation Constraints for Virtual Machine Placement in Cloud
+//! Datacenters"* (Li, Shen, Miles — ICDCS 2018).
+//!
+//! The algorithm ranks PM resource-usage **profiles** by how likely they are
+//! to develop into the *best profile* (full utilization in every dimension)
+//! by hosting more VMs from a known VM-type set, and places each VM where
+//! the resulting profile ranks highest:
+//!
+//! 1. [`profile`] — canonical multi-dimensional profiles where every
+//!    physical core and disk is its own dimension (this is how
+//!    anti-collocation constraints are encoded);
+//! 2. [`graph`] — the profile graph: `A → B` iff hosting one VM turns
+//!    profile `A` into profile `B`;
+//! 3. [`pagerank`] — Algorithm 1: iterative PageRank with damping 0.85;
+//! 4. [`bpru`] — the Best-Possible-Resource-Utilization discount;
+//! 5. [`table`] — the Profile–PageRank score table consulted at placement
+//!    time;
+//! 6. [`placer`] — Algorithm 2 (initial allocation) and the paper's
+//!    eviction rule for overloaded PMs;
+//! 7. [`two_choice`] — the sampled O(1) variant sketched in §V-C.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pagerankvm::{PageRankConfig, GraphLimits, PageRankVmPlacer, ScoreBook};
+//! use prvm_model::{catalog, place_batch, Cluster, Quantizer};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build the Profile–PageRank score table once per PM type…
+//! let book = Arc::new(ScoreBook::build(
+//!     Quantizer { core_slots: 2, mem_levels: 4, disk_levels: 2 },
+//!     &catalog::ec2_pm_types(),
+//!     &catalog::ec2_vm_types(),
+//!     &PageRankConfig::default(),
+//!     GraphLimits::default(),
+//! )?);
+//!
+//! // …then place VMs with Algorithm 2.
+//! let mut placer = PageRankVmPlacer::new(book);
+//! let mut cluster = Cluster::homogeneous(catalog::pm_m3(), 50);
+//! let requests = vec![catalog::vm_m3_large(); 20];
+//! place_batch(&mut placer, &mut cluster, requests)?;
+//! assert!(cluster.active_pm_count() < 20);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod bpru;
+pub mod graph;
+pub mod pagerank;
+pub mod placer;
+pub mod profile;
+pub mod table;
+pub mod two_choice;
+
+pub use analysis::{paths_to_best, rank_stats, top_profiles, RankStats};
+pub use bpru::bpru as compute_bpru;
+pub use graph::{GraphError, GraphLimits, NodeId, ProfileGraph};
+pub use pagerank::{pagerank, Orientation, PageRankConfig, PageRankResult};
+pub use placer::{PageRankEviction, PageRankVmPlacer};
+pub use profile::{KindSpace, Profile, ProfileSpace, ProfileVm};
+pub use table::{ScoreBook, ScoreTable};
+pub use two_choice::TwoChoicePlacer;

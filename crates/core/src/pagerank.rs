@@ -1,0 +1,314 @@
+//! PageRank over the profile graph — the paper's Algorithm 1, in both of
+//! the orientations the paper (inconsistently) describes.
+//!
+//! The score of profile `P_i` follows Equ. (12):
+//!
+//! ```text
+//! PR(P_i) = (1 - d)/N + d * Σ_{P_j ∈ M(P_i)} PR(P_j)/L(P_j)
+//! ```
+//!
+//! computed iteratively with the auxiliary accumulator `Aux` of the
+//! pseudocode, normalising after every sweep (line 17) and stopping when no
+//! score moves by more than `epsilon`.
+//!
+//! # The orientation discrepancy
+//!
+//! The paper's *pseudocode* pushes each profile's rank to the profiles it
+//! can become (`S(P_i)`, line 10): rank flows **toward fuller** profiles,
+//! rewarding profiles with many in-ways. Its *worked examples*, however,
+//! claim the rank measures a profile's ability to **develop to the best
+//! profile** — an out-path property: §V-A says `[3,3,3,3]` outranks
+//! `[4,4,2,2]` because it has *two* ways onward to `[4,4,4,4]` versus one.
+//! Under the pseudocode's orientation that example is *false* (`[4,4,2,2]`
+//! has strictly more predecessors). Running PageRank on the transposed
+//! graph — each achievable successor votes for the profiles that can reach
+//! it — makes every worked example hold, so that is the default here;
+//! [`Orientation::TowardFuller`] gives the literal pseudocode for
+//! comparison (see DESIGN.md §5 and the ablation bench).
+
+use crate::graph::ProfileGraph;
+
+/// Which way votes flow along profile-graph edges. See the module docs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// Votes flow opposite the hosting edges: a profile is supported by the
+    /// profiles it can develop into. Matches the paper's narrative and
+    /// worked examples (default).
+    #[default]
+    TowardEmptier,
+    /// Votes flow along hosting edges, toward fuller profiles. The literal
+    /// reading of Algorithm 1's pseudocode.
+    TowardFuller,
+}
+
+/// Parameters of the PageRank iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageRankConfig {
+    /// Damping factor `d`; the paper uses the customary 0.85.
+    pub damping: f64,
+    /// Convergence threshold `ε` on the max per-node change.
+    pub epsilon: f64,
+    /// Safety bound on iterations.
+    pub max_iters: usize,
+    /// Vote direction (see [`Orientation`]).
+    pub orientation: Orientation,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        Self {
+            damping: 0.85,
+            epsilon: 1e-10,
+            max_iters: 500,
+            orientation: Orientation::default(),
+        }
+    }
+}
+
+/// Result of a PageRank computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageRankResult {
+    /// Normalised score per node (sums to 1).
+    pub scores: Vec<f64>,
+    /// Iterations executed before convergence (or the cap).
+    pub iterations: usize,
+    /// `true` if the `epsilon` criterion was met within `max_iters`.
+    pub converged: bool,
+}
+
+/// Run Algorithm 1 (lines 2–18) over `graph`.
+///
+/// # Panics
+///
+/// Panics if `config.damping` is outside `(0, 1)` or the graph is empty.
+#[must_use]
+#[allow(clippy::needless_range_loop)] // parallel-array sweeps read clearest indexed
+pub fn pagerank(graph: &ProfileGraph, config: &PageRankConfig) -> PageRankResult {
+    assert!(
+        config.damping > 0.0 && config.damping < 1.0,
+        "damping factor must be in (0, 1)"
+    );
+    let n = graph.node_count();
+    assert!(n > 0, "graph must have nodes");
+
+    // For the transposed orientation each node's "out-degree" is its
+    // forward in-degree.
+    let indeg: Vec<u32> = {
+        let mut v = vec![0u32; n];
+        if config.orientation == Orientation::TowardEmptier {
+            for i in 0..n {
+                for &s in graph.successors(i as u32) {
+                    v[s as usize] += 1;
+                }
+            }
+        }
+        v
+    };
+
+    let mut pr = vec![1.0 / n as f64; n];
+    let mut aux = vec![0.0; n];
+    let mut iterations = 0;
+    let mut converged = false;
+
+    while iterations < config.max_iters {
+        iterations += 1;
+        // Lines 7–12: propagate rank over each edge, split evenly over the
+        // voter's out-links.
+        match config.orientation {
+            Orientation::TowardFuller => {
+                for i in 0..n {
+                    let succ = graph.successors(i as u32);
+                    if succ.is_empty() {
+                        continue;
+                    }
+                    let share = pr[i] / succ.len() as f64;
+                    for &s in succ {
+                        aux[s as usize] += share;
+                    }
+                }
+            }
+            Orientation::TowardEmptier => {
+                // Edge i -> s in the hosting graph becomes a vote s -> i;
+                // node s splits its rank over indeg[s] such votes.
+                for i in 0..n {
+                    let mut sum = 0.0;
+                    for &s in graph.successors(i as u32) {
+                        sum += pr[s as usize] / f64::from(indeg[s as usize]);
+                    }
+                    aux[i] += sum;
+                }
+            }
+        }
+        // Lines 13–16: new scores from the teleport term plus damped votes.
+        let teleport = (1.0 - config.damping) / n as f64;
+        let mut total = 0.0;
+        let mut next = vec![0.0; n];
+        for i in 0..n {
+            next[i] = teleport + config.damping * aux[i];
+            aux[i] = 0.0;
+            total += next[i];
+        }
+        // Line 17: normalise.
+        let mut delta = 0.0f64;
+        for i in 0..n {
+            next[i] /= total;
+            delta = delta.max((next[i] - pr[i]).abs());
+        }
+        pr = next;
+        if delta < config.epsilon {
+            converged = true;
+            break;
+        }
+    }
+
+    PageRankResult {
+        scores: pr,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphLimits;
+    use crate::profile::{ProfileSpace, ProfileVm};
+
+    fn paper_graph() -> ProfileGraph {
+        let space = ProfileSpace::uniform(4, 4);
+        let vms = vec![
+            ProfileVm::from_demands("[1,1]", vec![vec![1, 1]]),
+            ProfileVm::from_demands("[1,1,1,1]", vec![vec![1, 1, 1, 1]]),
+        ];
+        ProfileGraph::build(space, vms, GraphLimits::default()).unwrap()
+    }
+
+    fn cfg(orientation: Orientation) -> PageRankConfig {
+        PageRankConfig {
+            orientation,
+            ..PageRankConfig::default()
+        }
+    }
+
+    #[test]
+    fn scores_sum_to_one_and_converge_both_orientations() {
+        let g = paper_graph();
+        for o in [Orientation::TowardFuller, Orientation::TowardEmptier] {
+            let r = pagerank(&g, &cfg(o));
+            assert!(r.converged, "{o:?} did not converge in {}", r.iterations);
+            let sum: f64 = r.scores.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{o:?}: sum = {sum}");
+            assert!(r.scores.iter().all(|&s| s > 0.0), "teleport keeps all > 0");
+        }
+    }
+
+    #[test]
+    fn forward_orientation_favours_fuller_profiles() {
+        let g = paper_graph();
+        let r = pagerank(&g, &cfg(Orientation::TowardFuller));
+        let s = g.space();
+        let best = g.node(&s.best_profile()).unwrap() as usize;
+        let empty = g.node(&s.empty_profile()).unwrap() as usize;
+        assert!(r.scores[best] > r.scores[empty]);
+    }
+
+    #[test]
+    fn reverse_orientation_favours_flexible_profiles() {
+        // Under the narrative orientation the empty profile — which can
+        // develop into everything — outranks the terminal best profile.
+        let g = paper_graph();
+        let r = pagerank(&g, &cfg(Orientation::TowardEmptier));
+        let s = g.space();
+        let best = g.node(&s.best_profile()).unwrap() as usize;
+        let empty = g.node(&s.empty_profile()).unwrap() as usize;
+        assert!(r.scores[empty] > r.scores[best]);
+    }
+
+    #[test]
+    fn quality_example_holds_under_default_orientation() {
+        // §V-A: [3,3,3,3] outranks [4,4,2,2] (two ways vs one way to the
+        // best profile). This is the orientation acid test.
+        let g = paper_graph();
+        let r = pagerank(&g, &PageRankConfig::default());
+        let s = g.space();
+        let a = g.node(&s.canonicalize(&[&[3, 3, 3, 3]])).unwrap() as usize;
+        let b = g.node(&s.canonicalize(&[&[4, 4, 2, 2]])).unwrap() as usize;
+        assert!(
+            r.scores[a] > r.scores[b],
+            "[3,3,3,3]={} vs [4,4,2,2]={}",
+            r.scores[a],
+            r.scores[b]
+        );
+    }
+
+    #[test]
+    fn tighter_epsilon_needs_more_iterations() {
+        let g = paper_graph();
+        let loose = pagerank(
+            &g,
+            &PageRankConfig {
+                epsilon: 1e-4,
+                ..PageRankConfig::default()
+            },
+        );
+        let tight = pagerank(
+            &g,
+            &PageRankConfig {
+                epsilon: 1e-12,
+                ..PageRankConfig::default()
+            },
+        );
+        assert!(tight.iterations >= loose.iterations);
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let g = paper_graph();
+        let r = pagerank(
+            &g,
+            &PageRankConfig {
+                epsilon: 0.0,
+                max_iters: 3,
+                ..PageRankConfig::default()
+            },
+        );
+        assert_eq!(r.iterations, 3);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn invalid_damping_rejected() {
+        let g = paper_graph();
+        let _ = pagerank(
+            &g,
+            &PageRankConfig {
+                damping: 1.5,
+                ..PageRankConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn two_node_chain_has_closed_form() {
+        // Graph: 0 -> 1 (single VM that exactly fills the PM). Under the
+        // forward orientation the fixpoint of the normalised iteration
+        // gives: d·p0² + 2a·p0 − a = 0 with a = (1-d)/2.
+        let space = ProfileSpace::uniform(1, 1);
+        let vms = vec![ProfileVm::from_demands("[1]", vec![vec![1]])];
+        let g = ProfileGraph::build(space, vms, GraphLimits::default()).unwrap();
+        assert_eq!(g.node_count(), 2);
+        let r = pagerank(&g, &cfg(Orientation::TowardFuller));
+        let d: f64 = 0.85;
+        let a = (1.0 - d) / 2.0;
+        let p0 = (-a + (a * a + a * d).sqrt()) / d;
+        assert!((r.scores[0] - p0).abs() < 1e-8, "{}", r.scores[0]);
+        assert!((r.scores[1] - (1.0 - p0)).abs() < 1e-8);
+
+        // Under the reverse orientation the roles swap: node 1 votes for
+        // node 0, so node 0 carries the larger score.
+        let r = pagerank(&g, &cfg(Orientation::TowardEmptier));
+        assert!((r.scores[1] - p0).abs() < 1e-8, "{}", r.scores[1]);
+        assert!((r.scores[0] - (1.0 - p0)).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,405 @@
+//! The PageRankVM placement algorithm (Algorithm 2) and its eviction rule.
+
+use crate::table::ScoreBook;
+use prvm_model::combin::distinct_placements;
+use prvm_model::{
+    Assignment, Cluster, EvictionPolicy, Mhz, PlacementAlgorithm, PlacementDecision, Pm, PmId,
+    VmId, VmSpec,
+};
+use std::sync::Arc;
+
+/// PageRank-based VM placement with anti-collocation constraints.
+///
+/// For a given VM, the placer walks `used_PM_list`, derives the set of
+/// possible PM profiles after accommodating *every distinct permutation* of
+/// the VM's demands, looks each up in the Profile–PageRank score table, and
+/// selects the PM (and permutation) with the maximum score. If no used PM
+/// fits, the first unused PM with sufficient resources is opened
+/// (Algorithm 2 lines 17–24).
+#[derive(Debug, Clone)]
+pub struct PageRankVmPlacer {
+    book: Arc<ScoreBook>,
+}
+
+impl PageRankVmPlacer {
+    /// Create a placer over a pre-built [`ScoreBook`].
+    #[must_use]
+    pub fn new(book: Arc<ScoreBook>) -> Self {
+        Self { book }
+    }
+
+    /// The shared score book (also used by [`PageRankEviction`]).
+    #[must_use]
+    pub fn book(&self) -> &Arc<ScoreBook> {
+        &self.book
+    }
+
+    /// The best `(score, assignment)` for hosting `vm` on `pm`, evaluating
+    /// every distinct permutation of the VM's demands in quantized space
+    /// (Algorithm 2, lines 6–7).
+    ///
+    /// Returns `None` when the PM type has no table, the placement is
+    /// quantized-infeasible, or every resulting profile falls outside the
+    /// graph.
+    #[must_use]
+    pub fn best_option(&self, pm: &Pm, vm: &VmSpec) -> Option<(f64, Assignment)> {
+        let book = &self.book;
+        let table = book.table(pm.spec())?;
+        let space = table.space();
+        let quantizer = book.quantizer();
+        let qvm = quantizer.quantize_vm(vm, pm.spec());
+        let (cores, mem, disks) = quantizer.quantized_usage(pm);
+
+        let cap_of = |name: &str| -> u64 {
+            space
+                .kinds()
+                .iter()
+                .find(|k| k.name == name)
+                .map_or(0, |k| u64::from(k.cap))
+        };
+
+        // Memory is a single scalar dimension.
+        let mem_cap = cap_of("mem");
+        if mem + qvm.mem_units > mem_cap && qvm.mem_units > 0 {
+            return None;
+        }
+        let new_mem = mem + qvm.mem_units;
+
+        let core_caps = vec![cap_of("cores"); cores.len()];
+        let cpu_demands = vec![qvm.vcpu_slots; qvm.vcpus];
+        let core_options = distinct_placements(&cores, &core_caps, &cpu_demands);
+        if core_options.is_empty() {
+            return None;
+        }
+
+        let disk_caps = vec![cap_of("disks"); disks.len()];
+        let disk_options = distinct_placements(&disks, &disk_caps, &qvm.disk_units);
+        if disk_options.is_empty() {
+            return None;
+        }
+
+        let mut best: Option<(f64, Assignment)> = None;
+        let mut new_cores = cores.clone();
+        let mut new_disks = disks.clone();
+        for co in &core_options {
+            new_cores.copy_from_slice(&cores);
+            for (k, &c) in co.iter().enumerate() {
+                new_cores[c] += cpu_demands[k];
+            }
+            for do_ in &disk_options {
+                new_disks.copy_from_slice(&disks);
+                for (k, &d) in do_.iter().enumerate() {
+                    new_disks[d] += qvm.disk_units[k];
+                }
+                let profile = book.usage_profile(space, &new_cores, new_mem, &new_disks);
+                if let Some(score) = table.score(&profile) {
+                    if best.as_ref().is_none_or(|(b, _)| score > *b) {
+                        // vCPU slots round to nearest, so a quantized
+                        // option can be slightly optimistic: gate on the
+                        // real-unit validator before accepting.
+                        let assignment = Assignment::new(co.clone(), do_.clone());
+                        if pm.validate(vm, &assignment).is_ok() {
+                            best = Some((score, assignment));
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+impl PlacementAlgorithm for PageRankVmPlacer {
+    fn name(&self) -> &str {
+        "PageRankVM"
+    }
+
+    fn choose(
+        &mut self,
+        cluster: &Cluster,
+        vm: &VmSpec,
+        exclude: &dyn Fn(PmId) -> bool,
+    ) -> Option<PlacementDecision> {
+        let mut best: Option<(f64, PmId, Assignment)> = None;
+        let mut fallback: Option<PlacementDecision> = None;
+
+        // Lines 2–13: scan used PMs for the maximum-score option.
+        for pm_id in cluster.used_pms() {
+            if exclude(pm_id) {
+                continue;
+            }
+            let pm = cluster.pm(pm_id);
+            if !pm.has_aggregate_room(vm) {
+                continue;
+            }
+            match self.best_option(pm, vm) {
+                Some((score, assignment)) => {
+                    if best.as_ref().is_none_or(|(b, _, _)| score > *b) {
+                        best = Some((score, pm_id, assignment));
+                    }
+                }
+                None => {
+                    // Quantized-infeasible (or unscored) but possibly
+                    // real-feasible: remember the first such PM as a
+                    // fallback (DESIGN.md §5).
+                    if fallback.is_none() {
+                        if let Some(assignment) = pm.first_feasible(vm) {
+                            fallback = Some(PlacementDecision {
+                                pm: pm_id,
+                                assignment,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((_, pm, assignment)) = best {
+            return Some(PlacementDecision { pm, assignment });
+        }
+        if fallback.is_some() {
+            return fallback;
+        }
+
+        // Lines 17–24: open the first unused PM with sufficient resources.
+        for pm_id in cluster.unused_pms() {
+            if exclude(pm_id) {
+                continue;
+            }
+            if let Some(assignment) = cluster.pm(pm_id).first_feasible(vm) {
+                return Some(PlacementDecision {
+                    pm: pm_id,
+                    assignment,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// PageRankVM's overload handling (§VI-A, Comparison Algorithms): "for each
+/// VM on the PM, we check the PageRank value of the resulting profile of
+/// this PM after removing the VM. Then we select the VM that can result in
+/// the highest PageRank value to remove."
+#[derive(Debug, Clone)]
+pub struct PageRankEviction {
+    book: Arc<ScoreBook>,
+}
+
+impl PageRankEviction {
+    /// Create the eviction rule over the same book as the placer.
+    #[must_use]
+    pub fn new(book: Arc<ScoreBook>) -> Self {
+        Self { book }
+    }
+}
+
+impl EvictionPolicy for PageRankEviction {
+    fn name(&self) -> &str {
+        "PageRankVM"
+    }
+
+    fn select(&mut self, pm: &Pm, _cpu_demand: &dyn Fn(VmId) -> Mhz) -> Option<VmId> {
+        if pm.is_empty() {
+            return None;
+        }
+        let quantizer = self.book.quantizer();
+        let table = self.book.table(pm.spec());
+        let (cores, mem, disks) = quantizer.quantized_usage(pm);
+
+        let mut best: Option<(f64, VmId)> = None;
+        let mut biggest: Option<(u64, VmId)> = None;
+        for (id, vm, assignment) in pm.vms() {
+            let qvm = quantizer.quantize_vm(vm, pm.spec());
+            let total = qvm.vcpu_slots * qvm.vcpus as u64
+                + qvm.mem_units
+                + qvm.disk_units.iter().sum::<u64>();
+            if biggest.as_ref().is_none_or(|(t, _)| total > *t) {
+                biggest = Some((total, id));
+            }
+            let Some(table) = table else { continue };
+            let mut rc = cores.clone();
+            for &c in &assignment.cores {
+                rc[c] -= qvm.vcpu_slots;
+            }
+            let rm = mem - qvm.mem_units;
+            let mut rd = disks.clone();
+            for (k, &d) in assignment.disks.iter().enumerate() {
+                rd[d] -= qvm.disk_units[k];
+            }
+            let profile = self.book.usage_profile(table.space(), &rc, rm, &rd);
+            if let Some(score) = table.score(&profile) {
+                if best.as_ref().is_none_or(|(b, _)| score > *b) {
+                    best = Some((score, id));
+                }
+            }
+        }
+        // Fallback when no post-removal profile is scoreable: evict the
+        // largest VM (it frees the most quantized resource).
+        best.map(|(_, id)| id).or(biggest.map(|(_, id)| id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphLimits;
+    use crate::pagerank::PageRankConfig;
+    use prvm_model::{catalog, place_batch, Quantizer};
+
+    fn book() -> Arc<ScoreBook> {
+        let q = Quantizer {
+            core_slots: 2,
+            mem_levels: 4,
+            disk_levels: 2,
+        };
+        Arc::new(
+            ScoreBook::build(
+                q,
+                &catalog::ec2_pm_types(),
+                &catalog::ec2_vm_types(),
+                &PageRankConfig::default(),
+                GraphLimits::default(),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn geni_book() -> Arc<ScoreBook> {
+        Arc::new(
+            ScoreBook::build(
+                Quantizer::default(),
+                &[catalog::geni_pm()],
+                &catalog::geni_vm_types(),
+                &PageRankConfig::default(),
+                GraphLimits::default(),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn places_batch_and_prefers_used_pms() {
+        let mut placer = PageRankVmPlacer::new(book());
+        let mut cluster = Cluster::homogeneous(catalog::pm_m3(), 10);
+        let vms = vec![catalog::vm_m3_medium(); 8];
+        place_batch(&mut placer, &mut cluster, vms).unwrap();
+        // 8 m3.medium easily share far fewer than 8 PMs.
+        assert!(cluster.active_pm_count() <= 2, "{}", cluster.active_pm_count());
+    }
+
+    #[test]
+    fn best_option_scores_empty_pm() {
+        let placer = PageRankVmPlacer::new(book());
+        let pm = Pm::new(catalog::pm_m3());
+        let (score, assignment) = placer
+            .best_option(&pm, &catalog::vm_m3_large())
+            .expect("fits");
+        assert!(score > 0.0);
+        pm.validate(&catalog::vm_m3_large(), &assignment).unwrap();
+    }
+
+    #[test]
+    fn quantized_feasibility_implies_real_feasibility() {
+        // Fill a PM step by step; every option the placer returns must be
+        // acceptable to the real-unit validator.
+        let mut placer = PageRankVmPlacer::new(book());
+        let mut cluster = Cluster::homogeneous(catalog::pm_m3(), 3);
+        for _ in 0..12 {
+            let vm = catalog::vm_c3_large();
+            let Some(d) = placer.choose(&cluster, &vm, &|_| false) else {
+                break;
+            };
+            cluster.pm(d.pm).validate(&vm, &d.assignment).unwrap();
+            cluster.place(d.pm, vm, d.assignment).unwrap();
+        }
+        assert!(cluster.vm_count() > 0);
+    }
+
+    #[test]
+    fn geni_placer_packs_tightly() {
+        // 4 cores x 4 slots: four [1,1,1,1] VMs exactly fill a node.
+        let mut placer = PageRankVmPlacer::new(geni_book());
+        let mut cluster = Cluster::homogeneous(catalog::geni_pm(), 4);
+        let vms = vec![catalog::geni_vm_4(); 4];
+        place_batch(&mut placer, &mut cluster, vms).unwrap();
+        assert_eq!(cluster.active_pm_count(), 1, "perfect packing expected");
+    }
+
+    #[test]
+    fn exclusion_moves_choice_elsewhere() {
+        let mut placer = PageRankVmPlacer::new(book());
+        let mut cluster = Cluster::homogeneous(catalog::pm_m3(), 2);
+        let vm = catalog::vm_m3_medium();
+        let d = placer.choose(&cluster, &vm, &|_| false).unwrap();
+        cluster.place(d.pm, vm.clone(), d.assignment).unwrap();
+        let first = cluster.used_pms().next().unwrap();
+        let d2 = placer.choose(&cluster, &vm, &|pm| pm == first).unwrap();
+        assert_ne!(d2.pm, first);
+    }
+
+    #[test]
+    fn no_capacity_returns_none() {
+        let mut placer = PageRankVmPlacer::new(geni_book());
+        let mut cluster = Cluster::homogeneous(catalog::geni_pm(), 1);
+        let vms = vec![catalog::geni_vm_4(); 4];
+        place_batch(&mut placer, &mut cluster, vms).unwrap();
+        assert!(placer
+            .choose(&cluster, &catalog::geni_vm_2(), &|_| false)
+            .is_none());
+    }
+
+    #[test]
+    fn eviction_picks_scoreable_vm() {
+        let b = geni_book();
+        let mut placer = PageRankVmPlacer::new(b.clone());
+        let mut cluster = Cluster::homogeneous(catalog::geni_pm(), 1);
+        let vms = vec![
+            catalog::geni_vm_4(),
+            catalog::geni_vm_2(),
+            catalog::geni_vm_2(),
+        ];
+        place_batch(&mut placer, &mut cluster, vms).unwrap();
+        let pm = cluster.pm(PmId(0));
+        let mut evict = PageRankEviction::new(b);
+        let victim = evict.select(pm, &|_| Mhz::ZERO).expect("pm has vms");
+        assert!(pm.vm(victim).is_some());
+    }
+
+    #[test]
+    fn eviction_on_empty_pm_is_none() {
+        let mut evict = PageRankEviction::new(geni_book());
+        let pm = Pm::new(catalog::geni_pm());
+        assert_eq!(evict.select(&pm, &|_| Mhz::ZERO), None);
+    }
+
+    #[test]
+    fn eviction_prefers_profile_with_highest_score() {
+        // One [1,1,1,1] and one [1,1] on a GENI node. Removing the [1,1]
+        // leaves [1,1,1,1] (balanced); removing the [1,1,1,1] leaves
+        // [1,1,0,0]. The table decides; assert the choice is consistent
+        // with the table's own ranking.
+        let b = geni_book();
+        let mut placer = PageRankVmPlacer::new(b.clone());
+        let mut cluster = Cluster::homogeneous(catalog::geni_pm(), 1);
+        let ids = place_batch(
+            &mut placer,
+            &mut cluster,
+            vec![catalog::geni_vm_4(), catalog::geni_vm_2()],
+        )
+        .unwrap();
+        let pm = cluster.pm(PmId(0));
+        let table = b.table(pm.spec()).unwrap();
+        let space = table.space();
+        let s_remove_small = table
+            .score(&space.canonicalize(&[&[1, 1, 1, 1]]))
+            .unwrap();
+        let s_remove_big = table.score(&space.canonicalize(&[&[1, 1, 0, 0]])).unwrap();
+        let mut evict = PageRankEviction::new(b.clone());
+        let victim = evict.select(pm, &|_| Mhz::ZERO).unwrap();
+        if s_remove_small > s_remove_big {
+            assert_eq!(victim, ids[1], "should remove the [1,1] VM");
+        } else {
+            assert_eq!(victim, ids[0], "should remove the [1,1,1,1] VM");
+        }
+    }
+}

@@ -1,0 +1,691 @@
+//! PM resource-usage profiles in the quantized space.
+//!
+//! A profile is the paper's `p = [p_1, …, p_m]`: utilization of every
+//! resource dimension, where each physical core and each physical disk is
+//! its own dimension (§IV). Dimensions of the same *kind* (cores among
+//! themselves, disks among themselves) are interchangeable, so a profile is
+//! stored in **canonical form**: the usage values of each kind sorted
+//! ascending. This collapses the permutations the paper talks about —
+//! `{α,α,0,0}` and `{0,0,α,α}` map to the same canonical profile — while
+//! preserving exactly the distinctions that matter for ranking.
+
+use prvm_model::{QuantizedPm, QuantizedVm};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One kind of interchangeable dimensions (cores, memory, disks).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KindSpace {
+    /// Diagnostic label: `"cores"`, `"mem"`, `"disks"`.
+    pub name: String,
+    /// Number of dimensions of this kind.
+    pub count: usize,
+    /// Capacity of each dimension, in quantized units.
+    pub cap: u16,
+}
+
+/// The shape of the quantized profile space for one PM type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProfileSpace {
+    kinds: Vec<KindSpace>,
+    /// Flat offset of each kind within a profile (kinds.len() + 1 entries).
+    offsets: Vec<usize>,
+    total_cap: u64,
+}
+
+impl ProfileSpace {
+    /// Build a space from explicit kinds. Kinds with `count == 0` or
+    /// `cap == 0` are dropped (absent dimensions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no kind remains (a PM must have at least one dimension).
+    #[must_use]
+    pub fn new(kinds: impl IntoIterator<Item = KindSpace>) -> Self {
+        let kinds: Vec<KindSpace> = kinds
+            .into_iter()
+            .filter(|k| k.count > 0 && k.cap > 0)
+            .collect();
+        assert!(!kinds.is_empty(), "profile space needs at least one kind");
+        let mut offsets = Vec::with_capacity(kinds.len() + 1);
+        let mut off = 0;
+        for k in &kinds {
+            offsets.push(off);
+            off += k.count;
+        }
+        offsets.push(off);
+        let total_cap = kinds
+            .iter()
+            .map(|k| u64::from(k.cap) * k.count as u64)
+            .sum();
+        Self {
+            kinds,
+            offsets,
+            total_cap,
+        }
+    }
+
+    /// The space of a quantized PM: cores, then memory, then disks.
+    #[must_use]
+    pub fn from_quantized_pm(pm: &QuantizedPm) -> Self {
+        Self::new([
+            KindSpace {
+                name: "cores".into(),
+                count: pm.cores,
+                cap: pm.core_cap as u16,
+            },
+            KindSpace {
+                name: "mem".into(),
+                count: usize::from(pm.mem_cap > 0),
+                cap: pm.mem_cap as u16,
+            },
+            KindSpace {
+                name: "disks".into(),
+                count: pm.disks,
+                cap: pm.disk_cap as u16,
+            },
+        ])
+    }
+
+    /// A uniform space: `dims` interchangeable dimensions of capacity `cap`
+    /// — the shape of all the paper's worked examples (e.g. `[4,4,4,4]`).
+    #[must_use]
+    pub fn uniform(dims: usize, cap: u16) -> Self {
+        Self::new([KindSpace {
+            name: "dims".into(),
+            count: dims,
+            cap,
+        }])
+    }
+
+    /// The kinds of this space.
+    #[must_use]
+    pub fn kinds(&self) -> &[KindSpace] {
+        &self.kinds
+    }
+
+    /// Total number of dimensions (`m` in the paper).
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        *self.offsets.last().expect("offsets never empty")
+    }
+
+    /// Sum of all dimension capacities (denominator of utilization).
+    #[must_use]
+    pub fn total_cap(&self) -> u64 {
+        self.total_cap
+    }
+
+    /// The all-zero profile.
+    #[must_use]
+    pub fn empty_profile(&self) -> Profile {
+        Profile(vec![0; self.dims()].into_boxed_slice())
+    }
+
+    /// The best profile: full utilization in every dimension (§V-A).
+    #[must_use]
+    pub fn best_profile(&self) -> Profile {
+        let mut v = Vec::with_capacity(self.dims());
+        for k in &self.kinds {
+            v.extend(std::iter::repeat_n(k.cap, k.count));
+        }
+        Profile(v.into_boxed_slice())
+    }
+
+    /// Canonicalise raw per-kind usage vectors into a [`Profile`].
+    ///
+    /// `usage` must contain one slice per kind, in kind order, with exactly
+    /// `count` entries each. Values may exceed capacity (over-committed
+    /// fallback placements); such profiles are valid keys, they just never
+    /// appear in a graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape does not match the space.
+    #[must_use]
+    pub fn canonicalize(&self, usage: &[&[u64]]) -> Profile {
+        assert_eq!(usage.len(), self.kinds.len(), "kind count mismatch");
+        let mut v = Vec::with_capacity(self.dims());
+        for (k, &slice) in self.kinds.iter().zip(usage) {
+            assert_eq!(slice.len(), k.count, "dimension count mismatch");
+            let start = v.len();
+            v.extend(slice.iter().map(|&u| u16::try_from(u).unwrap_or(u16::MAX)));
+            v[start..].sort_unstable();
+        }
+        Profile(v.into_boxed_slice())
+    }
+
+    /// View of one kind's usage inside a profile.
+    #[must_use]
+    pub fn kind_usage<'p>(&self, profile: &'p Profile, kind: usize) -> &'p [u16] {
+        &profile.0[self.offsets[kind]..self.offsets[kind + 1]]
+    }
+
+    /// Utilization `u/Σcap` of a profile: the paper's resource utilization
+    /// normalised to `[0, 1]`.
+    #[must_use]
+    pub fn utilization(&self, profile: &Profile) -> f64 {
+        let used: u64 = profile.0.iter().map(|&u| u64::from(u)).sum();
+        used as f64 / self.total_cap as f64
+    }
+
+    /// Variance of per-dimension utilization — the metric of the
+    /// variance-based approaches the paper's motivation critiques (§III-B).
+    #[must_use]
+    pub fn variance(&self, profile: &Profile) -> f64 {
+        let mut fracs = Vec::with_capacity(self.dims());
+        for (i, k) in self.kinds.iter().enumerate() {
+            for &u in self.kind_usage(profile, i) {
+                fracs.push(f64::from(u) / f64::from(k.cap));
+            }
+        }
+        let mean = fracs.iter().sum::<f64>() / fracs.len() as f64;
+        fracs.iter().map(|f| (f - mean).powi(2)).sum::<f64>() / fracs.len() as f64
+    }
+
+    /// Convert a quantized VM into this space's demand shape. Returns
+    /// `None` if the VM structurally cannot fit (more vCPUs than cores,
+    /// memory demanded on a memory-less PM, …).
+    #[must_use]
+    pub fn vm_demand(&self, vm: &QuantizedVm) -> Option<ProfileVm> {
+        let mut demands: Vec<Vec<u64>> = vec![Vec::new(); self.kinds.len()];
+        let mut assign = |name: &str, d: Vec<u64>| -> bool {
+            if d.is_empty() {
+                return true;
+            }
+            match self.kinds.iter().position(|k| k.name == name) {
+                Some(i) if d.len() <= self.kinds[i].count => {
+                    demands[i] = d;
+                    true
+                }
+                _ => false,
+            }
+        };
+        let cpu: Vec<u64> = std::iter::repeat_n(vm.vcpu_slots, vm.vcpus)
+            .filter(|&s| s > 0)
+            .collect();
+        let mem: Vec<u64> = if vm.mem_units > 0 {
+            vec![vm.mem_units]
+        } else {
+            Vec::new()
+        };
+        let disks: Vec<u64> = vm.disk_units.iter().copied().filter(|&d| d > 0).collect();
+        if assign("cores", cpu) && assign("mem", mem) && assign("disks", disks) {
+            Some(ProfileVm {
+                name: vm.name.clone(),
+                demands,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Enumerate every *distinct* profile reachable from `profile` by
+    /// hosting one `vm` (the paper's `S(P_i)` restricted to one VM type).
+    /// Empty when the VM does not fit.
+    #[must_use]
+    pub fn place(&self, profile: &Profile, vm: &ProfileVm) -> Vec<Profile> {
+        debug_assert_eq!(vm.demands.len(), self.kinds.len());
+        // Per-kind distinct outcomes.
+        let mut per_kind: Vec<Vec<Vec<u16>>> = Vec::with_capacity(self.kinds.len());
+        for (i, k) in self.kinds.iter().enumerate() {
+            let usage = self.kind_usage(profile, i);
+            let outcomes = place_multiset(usage, k.cap, &vm.demands[i]);
+            if outcomes.is_empty() {
+                return Vec::new();
+            }
+            per_kind.push(outcomes);
+        }
+        // Cartesian product across kinds. Distinct per-kind multisets give
+        // distinct combined profiles, so no dedup is needed.
+        let mut out: Vec<Profile> = Vec::with_capacity(per_kind.iter().map(Vec::len).product());
+        let mut current = vec![0u16; self.dims()];
+        fn rec(
+            per_kind: &[Vec<Vec<u16>>],
+            offsets: &[usize],
+            kind: usize,
+            current: &mut [u16],
+            out: &mut Vec<Profile>,
+        ) {
+            if kind == per_kind.len() {
+                out.push(Profile(current.to_vec().into_boxed_slice()));
+                return;
+            }
+            for outcome in &per_kind[kind] {
+                current[offsets[kind]..offsets[kind + 1]].copy_from_slice(outcome);
+                rec(per_kind, offsets, kind + 1, current, out);
+            }
+        }
+        rec(&per_kind, &self.offsets, 0, &mut current, &mut out);
+        out
+    }
+}
+
+/// A canonical PM usage profile: per kind, usage values sorted ascending,
+/// flattened.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Profile(Box<[u16]>);
+
+impl Profile {
+    /// Raw canonical values (kind boundaries live in the [`ProfileSpace`]).
+    #[must_use]
+    pub fn values(&self) -> &[u16] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Profile{:?}", &self.0[..])
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A VM's demand expressed in a specific [`ProfileSpace`]: per kind, the
+/// units that must land on *distinct* dimensions of that kind, sorted
+/// descending.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProfileVm {
+    /// VM type name (diagnostics).
+    pub name: String,
+    demands: Vec<Vec<u64>>,
+}
+
+impl ProfileVm {
+    /// Construct directly from per-kind demands (sorted descending within
+    /// each kind). Used by tests and the paper's abstract examples; real
+    /// workloads go through [`ProfileSpace::vm_demand`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a kind's demands are not sorted descending.
+    #[must_use]
+    pub fn from_demands(name: impl Into<String>, demands: Vec<Vec<u64>>) -> Self {
+        for d in &demands {
+            assert!(d.windows(2).all(|w| w[0] >= w[1]), "demands must be sorted");
+        }
+        Self {
+            name: name.into(),
+            demands,
+        }
+    }
+
+    /// Per-kind demands.
+    #[must_use]
+    pub fn demands(&self) -> &[Vec<u64>] {
+        &self.demands
+    }
+
+    /// Total demanded units across all kinds.
+    #[must_use]
+    pub fn total_units(&self) -> u64 {
+        self.demands.iter().flatten().sum()
+    }
+}
+
+/// Enumerate the distinct sorted-ascending outcomes of adding `demands`
+/// (sorted descending, each on a distinct dimension) to the sorted-ascending
+/// usage multiset `usage` with uniform capacity `cap`.
+///
+/// This is the multiset counterpart of
+/// [`prvm_model::combin::distinct_placements`]: it returns outcomes instead
+/// of index assignments, which is all the profile graph needs.
+#[must_use]
+pub fn place_multiset(usage: &[u16], cap: u16, demands: &[u64]) -> Vec<Vec<u16>> {
+    if demands.is_empty() {
+        return vec![usage.to_vec()];
+    }
+    if demands.len() > usage.len() {
+        return Vec::new();
+    }
+    // Run-length encode the usage (groups of interchangeable dimensions).
+    let mut groups: Vec<(u16, usize)> = Vec::new();
+    for &u in usage {
+        match groups.last_mut() {
+            Some((v, n)) if *v == u => *n += 1,
+            _ => groups.push((u, 1)),
+        }
+    }
+    // Run-length encode the demands.
+    let mut runs: Vec<(u64, usize)> = Vec::new();
+    for &d in demands {
+        match runs.last_mut() {
+            Some((v, n)) if *v == d => *n += 1,
+            _ => runs.push((d, 1)),
+        }
+    }
+
+    let mut results = Vec::new();
+    let mut taken = vec![0usize; groups.len()];
+    // choice[run][group] = how many demands of that run land in that group.
+    let mut choice = vec![vec![0usize; groups.len()]; runs.len()];
+
+    fn emit(
+        groups: &[(u16, usize)],
+        runs: &[(u64, usize)],
+        choice: &[Vec<usize>],
+        results: &mut Vec<Vec<u16>>,
+    ) {
+        let mut outcome = Vec::with_capacity(groups.iter().map(|&(_, n)| n).sum());
+        for (g, &(value, n)) in groups.iter().enumerate() {
+            let mut bumped = 0usize;
+            // Demands are assigned to distinct dims of the group.
+            for (r, counts) in choice.iter().enumerate() {
+                for _ in 0..counts[g] {
+                    outcome.push(value + runs[r].0 as u16);
+                    bumped += 1;
+                }
+            }
+            outcome.extend(std::iter::repeat_n(value, n - bumped));
+        }
+        outcome.sort_unstable();
+        results.push(outcome);
+    }
+
+    #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+    fn rec(
+        groups: &[(u16, usize)],
+        cap: u16,
+        runs: &[(u64, usize)],
+        run: usize,
+        remaining: usize,
+        g: usize,
+        taken: &mut [usize],
+        choice: &mut [Vec<usize>],
+        results: &mut Vec<Vec<u16>>,
+    ) {
+        if remaining == 0 {
+            for slot in g..groups.len() {
+                choice[run][slot] = 0;
+            }
+            if run + 1 == runs.len() {
+                emit(groups, runs, choice, results);
+            } else {
+                let next_remaining = runs[run + 1].1;
+                rec(
+                    groups,
+                    cap,
+                    runs,
+                    run + 1,
+                    next_remaining,
+                    0,
+                    taken,
+                    choice,
+                    results,
+                );
+            }
+            return;
+        }
+        if g == groups.len() {
+            return;
+        }
+        let (value, n) = groups[g];
+        let fits = u64::from(value) + runs[run].0 <= u64::from(cap);
+        let avail = if fits { n - taken[g] } else { 0 };
+        for c in (0..=avail.min(remaining)).rev() {
+            choice[run][g] = c;
+            taken[g] += c;
+            rec(
+                groups,
+                cap,
+                runs,
+                run,
+                remaining - c,
+                g + 1,
+                taken,
+                choice,
+                results,
+            );
+            taken[g] -= c;
+        }
+        choice[run][g] = 0;
+    }
+
+    let first_remaining = runs[0].1;
+    rec(
+        &groups,
+        cap,
+        &runs,
+        0,
+        first_remaining,
+        0,
+        &mut taken,
+        &mut choice,
+        &mut results,
+    );
+    results.sort_unstable();
+    results.dedup();
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space4() -> ProfileSpace {
+        ProfileSpace::uniform(4, 4)
+    }
+
+    fn profile(space: &ProfileSpace, v: &[u64]) -> Profile {
+        space.canonicalize(&[v])
+    }
+
+    #[test]
+    fn canonical_form_sorts_within_kinds() {
+        let s = space4();
+        let a = profile(&s, &[4, 3, 0, 1]);
+        let b = profile(&s, &[0, 1, 3, 4]);
+        assert_eq!(a, b);
+        assert_eq!(a.values(), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn kinds_do_not_mix() {
+        // Two kinds with identical caps must not merge: memory is not a core.
+        let s = ProfileSpace::new([
+            KindSpace {
+                name: "cores".into(),
+                count: 2,
+                cap: 4,
+            },
+            KindSpace {
+                name: "mem".into(),
+                count: 1,
+                cap: 4,
+            },
+        ]);
+        let p = s.canonicalize(&[&[3, 0], &[1]]);
+        assert_eq!(p.values(), &[0, 3, 1]); // cores sorted, mem separate
+        assert_eq!(s.kind_usage(&p, 0), &[0, 3]);
+        assert_eq!(s.kind_usage(&p, 1), &[1]);
+    }
+
+    #[test]
+    fn utilization_and_best_profile() {
+        let s = space4();
+        assert_eq!(s.utilization(&s.empty_profile()), 0.0);
+        assert_eq!(s.utilization(&s.best_profile()), 1.0);
+        let p = profile(&s, &[4, 3, 3, 3]);
+        assert!((s.utilization(&p) - 13.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_matches_motivation_example() {
+        // §III-B compares [4,3,3,3] (raw variance 0.1875, the paper quotes
+        // the unnormalised 0.75) against [3,3,2,2] (raw 0.25, paper 1.0).
+        // Our variance is on capacity-normalised fractions: raw/cap².
+        let s = space4();
+        let a = s.variance(&profile(&s, &[4, 3, 3, 3]));
+        let b = s.variance(&profile(&s, &[3, 3, 2, 2]));
+        assert!((a - 0.1875 / 16.0).abs() < 1e-9, "{a}");
+        assert!((b - 0.25 / 16.0).abs() < 1e-9, "{b}");
+        // What matters for the motivation: the variance metric prefers
+        // [4,3,3,3], which the paper shows is the *worse* host.
+        assert!(a < b);
+    }
+
+    #[test]
+    fn place_single_vm_type_matches_paper_example() {
+        // §V-A / Fig. 2: from [2,2,0,0]... use [3,3,3,3] hosting [1,1].
+        let s = space4();
+        let vm = ProfileVm::from_demands("[1,1]", vec![vec![1, 1]]);
+        let from = profile(&s, &[3, 3, 3, 3]);
+        let out = s.place(&from, &vm);
+        assert_eq!(out, vec![profile(&s, &[4, 4, 3, 3])]);
+
+        // [1,1,1,1] onto [3,3,3,3] -> best profile.
+        let vm4 = ProfileVm::from_demands("[1,1,1,1]", vec![vec![1, 1, 1, 1]]);
+        let out = s.place(&from, &vm4);
+        assert_eq!(out, vec![s.best_profile()]);
+
+        // [1,1,1,1] onto [4,4,2,2] does not fit (two dims are full).
+        let out = s.place(&profile(&s, &[4, 4, 2, 2]), &vm4);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn place_enumerates_distinct_permutations_only() {
+        let s = space4();
+        let vm = ProfileVm::from_demands("[1,1]", vec![vec![1, 1]]);
+        // [2,2,0,0] + [1,1]: three distinct outcomes (both-on-2s, split,
+        // both-on-0s).
+        let out = s.place(&profile(&s, &[2, 2, 0, 0]), &vm);
+        let expect: Vec<Profile> = vec![
+            profile(&s, &[3, 3, 0, 0]),
+            profile(&s, &[3, 2, 1, 0]),
+            profile(&s, &[2, 2, 1, 1]),
+        ];
+        let mut got = out.clone();
+        got.sort();
+        let mut want = expect;
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn place_respects_multi_kind_demands() {
+        let s = ProfileSpace::new([
+            KindSpace {
+                name: "cores".into(),
+                count: 2,
+                cap: 4,
+            },
+            KindSpace {
+                name: "mem".into(),
+                count: 1,
+                cap: 8,
+            },
+        ]);
+        let vm = ProfileVm::from_demands("v", vec![vec![2, 2], vec![3]]);
+        let from = s.canonicalize(&[&[1, 0], &[4]]);
+        let out = s.place(&from, &vm);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values(), &[2, 3, 7]);
+        // Memory overflow: 4 + 3 <= 8 ok, but from [4,4] cores it fails.
+        let full = s.canonicalize(&[&[3, 3], &[6]]);
+        assert!(s.place(&full, &vm).is_empty());
+    }
+
+    #[test]
+    fn vm_demand_conversion() {
+        use prvm_model::QuantizedVm;
+        let s = ProfileSpace::new([
+            KindSpace {
+                name: "cores".into(),
+                count: 8,
+                cap: 4,
+            },
+            KindSpace {
+                name: "mem".into(),
+                count: 1,
+                cap: 8,
+            },
+            KindSpace {
+                name: "disks".into(),
+                count: 4,
+                cap: 4,
+            },
+        ]);
+        let q = QuantizedVm {
+            name: "m3.xlarge".into(),
+            vcpus: 4,
+            vcpu_slots: 1,
+            mem_units: 2,
+            disk_units: vec![1, 1],
+        };
+        let vm = s.vm_demand(&q).unwrap();
+        assert_eq!(vm.demands(), &[vec![1, 1, 1, 1], vec![2], vec![1, 1]]);
+        assert_eq!(vm.total_units(), 8);
+
+        // 16 vCPUs cannot fit 8 cores structurally.
+        let too_wide = QuantizedVm {
+            name: "wide".into(),
+            vcpus: 16,
+            vcpu_slots: 1,
+            mem_units: 0,
+            disk_units: vec![],
+        };
+        assert!(s.vm_demand(&too_wide).is_none());
+    }
+
+    #[test]
+    fn vm_demand_on_cpu_only_space() {
+        use prvm_model::QuantizedVm;
+        let s = ProfileSpace::new([KindSpace {
+            name: "cores".into(),
+            count: 4,
+            cap: 4,
+        }]);
+        let q = QuantizedVm {
+            name: "[1,1]".into(),
+            vcpus: 2,
+            vcpu_slots: 1,
+            mem_units: 0,
+            disk_units: vec![],
+        };
+        let vm = s.vm_demand(&q).unwrap();
+        assert_eq!(vm.demands(), &[vec![1, 1]]);
+        // Demanding memory on a memory-less space is structural misfit.
+        let q = QuantizedVm {
+            name: "memful".into(),
+            vcpus: 1,
+            vcpu_slots: 1,
+            mem_units: 3,
+            disk_units: vec![],
+        };
+        assert!(s.vm_demand(&q).is_none());
+    }
+
+    #[test]
+    fn place_multiset_heterogeneous_demands() {
+        // Usage [0,1] cap 4, demands [2,1]: outcomes {[2,2] (2->0,1->1),
+        // [1,3] (2->1,1->0)} in ascending order.
+        let got = place_multiset(&[0, 1], 4, &[2, 1]);
+        assert_eq!(got, vec![vec![1, 3], vec![2, 2]]);
+    }
+
+    #[test]
+    fn place_multiset_empty_demand_is_identity() {
+        assert_eq!(place_multiset(&[1, 2], 4, &[]), vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = space4();
+        let p = profile(&s, &[4, 3, 3, 3]);
+        assert_eq!(p.to_string(), "[3,3,3,4]");
+        assert!(format!("{p:?}").contains("Profile"));
+    }
+}

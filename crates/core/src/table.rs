@@ -1,0 +1,388 @@
+//! The Profile–PageRank score table (§V-B).
+//!
+//! "We produce a Profile-PageRank score table from the graph, in which each
+//! profile is associated with a rank score." The table is what Algorithm 2
+//! consults at placement time; it is rebuilt only when the VM-type set
+//! changes. A [`ScoreBook`] bundles one table per PM type together with the
+//! [`Quantizer`] that maps live machines into the profile space.
+
+use crate::bpru::bpru;
+use crate::graph::{GraphError, GraphLimits, ProfileGraph};
+use crate::pagerank::{pagerank, PageRankConfig, PageRankResult};
+use crate::profile::{Profile, ProfileSpace, ProfileVm};
+use prvm_model::{Pm, PmSpec, Quantizer, VmSpec};
+use std::collections::HashMap;
+
+/// Final per-profile scores for one PM type:
+/// `PR(P_i) * BPRU(P_i)` (Algorithm 1, line 19).
+#[derive(Debug, Clone)]
+pub struct ScoreTable {
+    graph: ProfileGraph,
+    scores: Vec<f64>,
+    pagerank: PageRankResult,
+}
+
+impl ScoreTable {
+    /// Build graph, run PageRank, apply the BPRU discount.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from graph construction.
+    pub fn build(
+        space: ProfileSpace,
+        vm_types: Vec<ProfileVm>,
+        config: &PageRankConfig,
+        limits: GraphLimits,
+    ) -> Result<Self, GraphError> {
+        let graph = ProfileGraph::build(space, vm_types, limits)?;
+        let pr = pagerank(&graph, config);
+        let discount = bpru(&graph);
+        let scores = pr
+            .scores
+            .iter()
+            .zip(&discount)
+            .map(|(&p, &b)| p * b)
+            .collect();
+        Ok(Self {
+            graph,
+            scores,
+            pagerank: pr,
+        })
+    }
+
+    /// Like [`Self::build`], but over **all** canonical profiles of the
+    /// space rather than just those reachable from empty — the setting of
+    /// the paper's motivation section (§III-B), whose example profile
+    /// `[4,3,3,3]` no in-catalog VM sequence produces.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from graph construction.
+    pub fn build_full(
+        space: ProfileSpace,
+        vm_types: Vec<ProfileVm>,
+        config: &PageRankConfig,
+        limits: GraphLimits,
+    ) -> Result<Self, GraphError> {
+        let graph = ProfileGraph::build_full(space, vm_types, limits)?;
+        let pr = pagerank(&graph, config);
+        let discount = bpru(&graph);
+        let scores = pr
+            .scores
+            .iter()
+            .zip(&discount)
+            .map(|(&p, &b)| p * b)
+            .collect();
+        Ok(Self {
+            graph,
+            scores,
+            pagerank: pr,
+        })
+    }
+
+    /// The underlying profile graph.
+    #[must_use]
+    pub fn graph(&self) -> &ProfileGraph {
+        &self.graph
+    }
+
+    /// The profile space the table is defined over.
+    #[must_use]
+    pub fn space(&self) -> &ProfileSpace {
+        self.graph.space()
+    }
+
+    /// Raw PageRank output (before the BPRU discount).
+    #[must_use]
+    pub fn pagerank(&self) -> &PageRankResult {
+        &self.pagerank
+    }
+
+    /// Final score of a profile, or `None` if the profile is not reachable
+    /// in the graph (e.g. an over-committed fallback placement).
+    #[must_use]
+    pub fn score(&self, profile: &Profile) -> Option<f64> {
+        self.graph
+            .node(profile)
+            .map(|id| self.scores[id as usize])
+    }
+
+    /// Iterate `(profile, score)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Profile, f64)> + '_ {
+        self.graph
+            .node_ids()
+            .map(move |id| (self.graph.profile(id), self.scores[id as usize]))
+    }
+
+    /// Number of profiles in the table.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// `true` if the table has no entries (cannot occur for a built table).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+}
+
+/// One score table per PM type, plus the quantizer, shared by the placer
+/// and the eviction policy.
+#[derive(Debug)]
+pub struct ScoreBook {
+    quantizer: Quantizer,
+    tables: HashMap<PmSpec, ScoreTable>,
+}
+
+impl ScoreBook {
+    /// Build a table for every PM type in `pm_specs` against the VM set
+    /// `vm_types`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any PM type's profile graph cannot be built. A PM type for
+    /// which *no* VM type fits is rejected ([`GraphError::NoUsableVmTypes`])
+    /// — such a PM could never host anything anyway.
+    pub fn build(
+        quantizer: Quantizer,
+        pm_specs: &[PmSpec],
+        vm_types: &[VmSpec],
+        config: &PageRankConfig,
+        limits: GraphLimits,
+    ) -> Result<Self, GraphError> {
+        let mut tables = HashMap::new();
+        for pm in pm_specs {
+            if tables.contains_key(pm) {
+                continue;
+            }
+            let qpm = quantizer.quantize_pm(pm);
+            let space = ProfileSpace::from_quantized_pm(&qpm);
+            let vms: Vec<ProfileVm> = vm_types
+                .iter()
+                .filter_map(|v| space.vm_demand(&quantizer.quantize_vm(v, pm)))
+                .collect();
+            let table = ScoreTable::build(space, vms, config, limits)?;
+            tables.insert(pm.clone(), table);
+        }
+        Ok(Self { quantizer, tables })
+    }
+
+    /// The quantizer shared by all tables.
+    #[must_use]
+    pub fn quantizer(&self) -> &Quantizer {
+        &self.quantizer
+    }
+
+    /// The table for a PM type, if one was built.
+    #[must_use]
+    pub fn table(&self, pm: &PmSpec) -> Option<&ScoreTable> {
+        self.tables.get(pm)
+    }
+
+    /// Number of PM types covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` if no PM type is covered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Score of a live PM's *current* profile, or `None` when the PM type
+    /// is unknown or the profile is outside the graph.
+    #[must_use]
+    pub fn score_pm(&self, pm: &Pm) -> Option<f64> {
+        let table = self.tables.get(pm.spec())?;
+        let (cores, mem, disks) = self.quantizer.quantized_usage(pm);
+        let profile = self.usage_profile(table.space(), &cores, mem, &disks);
+        table.score(&profile)
+    }
+
+    /// Canonicalise raw quantized usage into the given space.
+    ///
+    /// Kind order follows [`ProfileSpace::from_quantized_pm`]: cores, then
+    /// memory (if present), then disks (if present).
+    #[must_use]
+    pub fn usage_profile(
+        &self,
+        space: &ProfileSpace,
+        cores: &[u64],
+        mem: u64,
+        disks: &[u64],
+    ) -> Profile {
+        let mem_slice = [mem];
+        let mut parts: Vec<&[u64]> = vec![cores];
+        for kind in space.kinds().iter().skip(1) {
+            match kind.name.as_str() {
+                "mem" => parts.push(&mem_slice),
+                "disks" => parts.push(disks),
+                other => unreachable!("unexpected kind {other}"),
+            }
+        }
+        space.canonicalize(&parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prvm_model::catalog;
+
+    fn paper_table() -> ScoreTable {
+        let space = ProfileSpace::uniform(4, 4);
+        let vms = vec![
+            ProfileVm::from_demands("[1,1]", vec![vec![1, 1]]),
+            ProfileVm::from_demands("[1,1,1,1]", vec![vec![1, 1, 1, 1]]),
+        ];
+        ScoreTable::build(
+            space,
+            vms,
+            &PageRankConfig::default(),
+            GraphLimits::default(),
+        )
+        .unwrap()
+    }
+
+    fn score(t: &ScoreTable, v: &[u64]) -> f64 {
+        t.score(&t.space().canonicalize(&[v])).expect("reachable")
+    }
+
+    #[test]
+    fn motivation_example_ranking_holds() {
+        // §III-B: [3,3,2,2] must outrank [4,3,3,3] even though the latter
+        // has higher utilization and lower variance — THE paper's central
+        // claim. [4,3,3,3] has an odd total so it is unreachable by
+        // in-catalog VMs; the motivation reasons over the full space.
+        let space = ProfileSpace::uniform(4, 4);
+        let vms = vec![
+            ProfileVm::from_demands("[1,1]", vec![vec![1, 1]]),
+            ProfileVm::from_demands("[1,1,1,1]", vec![vec![1, 1, 1, 1]]),
+        ];
+        let t = ScoreTable::build_full(
+            space,
+            vms,
+            &PageRankConfig::default(),
+            GraphLimits::default(),
+        )
+        .unwrap();
+        assert!(
+            score(&t, &[3, 3, 2, 2]) > score(&t, &[4, 3, 3, 3]),
+            "pagerank table must prefer [3,3,2,2]: {} vs {}",
+            score(&t, &[3, 3, 2, 2]),
+            score(&t, &[4, 3, 3, 3]),
+        );
+    }
+
+    #[test]
+    fn full_table_covers_every_canonical_profile() {
+        let space = ProfileSpace::uniform(4, 4);
+        let vms = vec![ProfileVm::from_demands("[1,1]", vec![vec![1, 1]])];
+        let t = ScoreTable::build_full(
+            space,
+            vms,
+            &PageRankConfig::default(),
+            GraphLimits::default(),
+        )
+        .unwrap();
+        // Multisets of size 4 over {0..4}: C(8,4) = 70.
+        assert_eq!(t.len(), 70);
+        // Odd-total profiles now have scores too.
+        assert!(t
+            .score(&t.space().canonicalize(&[&[1, 0, 0, 0]]))
+            .is_some());
+    }
+
+    #[test]
+    fn quality_example_ranking_holds() {
+        // §V-A / Fig. 2: [3,3,3,3] has higher quality than [4,4,2,2].
+        let t = paper_table();
+        assert!(score(&t, &[3, 3, 3, 3]) > score(&t, &[4, 4, 2, 2]));
+    }
+
+    #[test]
+    fn unreachable_profile_scores_none() {
+        let t = paper_table();
+        // Odd total usage is unreachable with even-sized VM shapes.
+        let p = t.space().canonicalize(&[&[1, 0, 0, 0]]);
+        assert_eq!(t.score(&p), None);
+    }
+
+    #[test]
+    fn iter_covers_all_nodes() {
+        let t = paper_table();
+        assert_eq!(t.iter().count(), t.len());
+        assert!(!t.is_empty());
+        assert!(t.iter().all(|(_, s)| s > 0.0));
+    }
+
+    #[test]
+    fn book_builds_tables_for_ec2_catalog() {
+        // A coarse quantizer keeps this test quick.
+        let q = Quantizer {
+            core_slots: 2,
+            mem_levels: 4,
+            disk_levels: 2,
+        };
+        let book = ScoreBook::build(
+            q,
+            &catalog::ec2_pm_types(),
+            &catalog::ec2_vm_types(),
+            &PageRankConfig::default(),
+            GraphLimits::default(),
+        )
+        .unwrap();
+        assert_eq!(book.len(), 2);
+        assert!(book.table(&catalog::pm_m3()).is_some());
+        assert!(book.table(&catalog::pm_c3()).is_some());
+        assert!(book.table(&catalog::geni_pm()).is_none());
+    }
+
+    #[test]
+    fn book_scores_live_pms() {
+        let q = Quantizer {
+            core_slots: 2,
+            mem_levels: 4,
+            disk_levels: 2,
+        };
+        let book = ScoreBook::build(
+            q,
+            &[catalog::pm_m3()],
+            &catalog::ec2_vm_types(),
+            &PageRankConfig::default(),
+            GraphLimits::default(),
+        )
+        .unwrap();
+        let mut pm = Pm::new(catalog::pm_m3());
+        let empty_score = book.score_pm(&pm).expect("empty profile is reachable");
+        assert!(empty_score > 0.0);
+
+        let vm = catalog::vm_m3_large();
+        let a = pm.first_feasible(&vm).unwrap();
+        pm.place(prvm_model::VmId(0), vm, a).unwrap();
+        let placed_score = book.score_pm(&pm).expect("one-vm profile is reachable");
+        assert!(placed_score > 0.0);
+    }
+
+    #[test]
+    fn duplicate_pm_specs_build_one_table() {
+        let q = Quantizer {
+            core_slots: 2,
+            mem_levels: 2,
+            disk_levels: 2,
+        };
+        let specs = vec![catalog::pm_m3(), catalog::pm_m3(), catalog::pm_m3()];
+        let book = ScoreBook::build(
+            q,
+            &specs,
+            &catalog::ec2_vm_types(),
+            &PageRankConfig::default(),
+            GraphLimits::default(),
+        )
+        .unwrap();
+        assert_eq!(book.len(), 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! The 2-choice sampling variant sketched at the end of §V-C.
+//!
+//! Scanning every used PM per placement costs `O(|used|)` score
+//! evaluations. The paper notes the classic power-of-two-choices result
+//! [Azar et al., Mitzenmacher]: sampling two PMs at random and keeping the
+//! better one captures most of the benefit at `O(1)` cost. This placer
+//! samples `poll_size` used PMs, scores only those, and falls back to the
+//! full Algorithm 2 path when the sample yields nothing feasible.
+
+use crate::placer::PageRankVmPlacer;
+use crate::table::ScoreBook;
+use prvm_model::{Cluster, PlacementAlgorithm, PlacementDecision, PmId, VmSpec};
+use rand::rngs::StdRng;
+use rand::seq::IteratorRandom;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// PageRankVM with sampled candidate PMs.
+#[derive(Debug)]
+pub struct TwoChoicePlacer {
+    inner: PageRankVmPlacer,
+    rng: StdRng,
+    poll_size: usize,
+}
+
+impl TwoChoicePlacer {
+    /// Sample two candidates per placement (the paper's recommendation).
+    #[must_use]
+    pub fn new(book: Arc<ScoreBook>, seed: u64) -> Self {
+        Self::with_poll_size(book, seed, 2)
+    }
+
+    /// Sample `poll_size` candidates per placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poll_size == 0`.
+    #[must_use]
+    pub fn with_poll_size(book: Arc<ScoreBook>, seed: u64, poll_size: usize) -> Self {
+        assert!(poll_size > 0, "poll size must be positive");
+        Self {
+            inner: PageRankVmPlacer::new(book),
+            rng: StdRng::seed_from_u64(seed),
+            poll_size,
+        }
+    }
+
+    /// Number of used PMs sampled per placement.
+    #[must_use]
+    pub fn poll_size(&self) -> usize {
+        self.poll_size
+    }
+}
+
+impl PlacementAlgorithm for TwoChoicePlacer {
+    fn name(&self) -> &str {
+        "PageRankVM-2choice"
+    }
+
+    fn choose(
+        &mut self,
+        cluster: &Cluster,
+        vm: &VmSpec,
+        exclude: &dyn Fn(PmId) -> bool,
+    ) -> Option<PlacementDecision> {
+        let sample: Vec<PmId> = cluster
+            .used_pms()
+            .filter(|&pm| !exclude(pm))
+            .choose_multiple(&mut self.rng, self.poll_size);
+
+        let mut best: Option<(f64, PlacementDecision)> = None;
+        for pm_id in sample {
+            let pm = cluster.pm(pm_id);
+            if !pm.has_aggregate_room(vm) {
+                continue;
+            }
+            if let Some((score, assignment)) = self.inner.best_option(pm, vm) {
+                if best.as_ref().is_none_or(|(b, _)| score > *b) {
+                    best = Some((
+                        score,
+                        PlacementDecision {
+                            pm: pm_id,
+                            assignment,
+                        },
+                    ));
+                }
+            }
+        }
+        if let Some((_, d)) = best {
+            return Some(d);
+        }
+        // Sample failed: defer to the exhaustive Algorithm 2 so the
+        // placement does not fail spuriously.
+        self.inner.choose(cluster, vm, exclude)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphLimits;
+    use crate::pagerank::PageRankConfig;
+    use prvm_model::{catalog, place_batch, Quantizer};
+
+    fn book() -> Arc<ScoreBook> {
+        Arc::new(
+            ScoreBook::build(
+                Quantizer::default(),
+                &[catalog::geni_pm()],
+                &catalog::geni_vm_types(),
+                &PageRankConfig::default(),
+                GraphLimits::default(),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn places_all_vms() {
+        let mut placer = TwoChoicePlacer::new(book(), 42);
+        let mut cluster = Cluster::homogeneous(catalog::geni_pm(), 8);
+        let vms = vec![catalog::geni_vm_2(); 20];
+        let ids = place_batch(&mut placer, &mut cluster, vms).unwrap();
+        assert_eq!(ids.len(), 20);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let mut placer = TwoChoicePlacer::new(book(), seed);
+            let mut cluster = Cluster::homogeneous(catalog::geni_pm(), 8);
+            let vms: Vec<_> = (0..16)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        catalog::geni_vm_2()
+                    } else {
+                        catalog::geni_vm_4()
+                    }
+                })
+                .collect();
+            place_batch(&mut placer, &mut cluster, vms).unwrap();
+            cluster
+                .used_pms()
+                .map(|pm| cluster.pm(pm).vm_count())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn falls_back_to_exhaustive_scan() {
+        // With poll size 1 and a nearly-full cluster the sample often
+        // misses; placement must still succeed while capacity remains.
+        let mut placer = TwoChoicePlacer::with_poll_size(book(), 3, 1);
+        let mut cluster = Cluster::homogeneous(catalog::geni_pm(), 4);
+        // 4 PMs x 16 slots = 64 slots; 24 x [1,1] = 48 slots. A poll of
+        // one frequently samples a full PM; the exhaustive fallback must
+        // still place everything.
+        let vms = vec![catalog::geni_vm_2(); 24];
+        let ids = place_batch(&mut placer, &mut cluster, vms).unwrap();
+        assert_eq!(ids.len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "poll size")]
+    fn zero_poll_size_rejected() {
+        let _ = TwoChoicePlacer::with_poll_size(book(), 0, 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Scale checks for the EC2-catalog profile graphs (release-mode friendly).
+
+use pagerankvm::{PageRankConfig, GraphLimits, ScoreBook};
+use prvm_model::{catalog, Quantizer};
+use std::time::Instant;
+
+#[test]
+#[ignore = "scale probe; run with --release -- --ignored"]
+fn ec2_default_quantizer_graph_stats() {
+    for q in [
+        Quantizer { core_slots: 2, mem_levels: 4, disk_levels: 2 },
+        Quantizer { core_slots: 4, mem_levels: 4, disk_levels: 2 },
+        Quantizer { core_slots: 4, mem_levels: 8, disk_levels: 4 },
+    ] {
+        let t0 = Instant::now();
+        let book = ScoreBook::build(
+            q,
+            &catalog::ec2_pm_types(),
+            &catalog::ec2_vm_types(),
+            &PageRankConfig::default(),
+            GraphLimits::default(),
+        )
+        .unwrap();
+        for pm in catalog::ec2_pm_types() {
+            let t = book.table(&pm).unwrap();
+            eprintln!(
+                "q={q:?} pm={} nodes={} edges={} iters={} elapsed={:?}",
+                pm.name,
+                t.graph().node_count(),
+                t.graph().edge_count(),
+                t.pagerank().iterations,
+                t0.elapsed()
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "scale probe; run with --release -- --ignored"]
+fn finer_quantizers() {
+    for q in [
+        Quantizer { core_slots: 4, mem_levels: 16, disk_levels: 4 },
+        Quantizer { core_slots: 8, mem_levels: 16, disk_levels: 4 },
+    ] {
+        let t0 = Instant::now();
+        match ScoreBook::build(
+            q,
+            &catalog::ec2_pm_types(),
+            &catalog::ec2_vm_types(),
+            &PageRankConfig::default(),
+            GraphLimits::default(),
+        ) {
+            Ok(book) => {
+                let t = book.table(&catalog::pm_m3()).unwrap();
+                eprintln!(
+                    "q={q:?} M3 nodes={} edges={} iters={} elapsed={:?}",
+                    t.graph().node_count(),
+                    t.graph().edge_count(),
+                    t.pagerank().iterations,
+                    t0.elapsed()
+                );
+            }
+            Err(e) => eprintln!("q={q:?} failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the PageRankVM core: profile canonicalisation,
+//! graph structure, PageRank and BPRU invariants.
+
+use pagerankvm::{
+    compute_bpru, pagerank, GraphLimits, Orientation, PageRankConfig, ProfileGraph,
+    ProfileSpace, ProfileVm, ScoreTable,
+};
+use proptest::prelude::*;
+
+/// Small random uniform spaces plus VM sets that fit them.
+fn arb_setting() -> impl Strategy<Value = (ProfileSpace, Vec<ProfileVm>)> {
+    (2usize..5, 2u16..5).prop_flat_map(|(dims, cap)| {
+        let space = ProfileSpace::uniform(dims, cap);
+        let vm = (1usize..=dims, 1u64..=u64::from(cap)).prop_map(|(width, size)| {
+            ProfileVm::from_demands("vm", vec![vec![size; width]])
+        });
+        (Just(space), prop::collection::vec(vm, 1..4))
+    })
+}
+
+proptest! {
+    /// Canonicalisation is idempotent and permutation-invariant.
+    #[test]
+    fn canonical_form_is_permutation_invariant(
+        mut usage in prop::collection::vec(0u64..5, 2..8)
+    ) {
+        let space = ProfileSpace::uniform(usage.len(), 8);
+        let a = space.canonicalize(&[&usage]);
+        usage.reverse();
+        let b = space.canonicalize(&[&usage]);
+        prop_assert_eq!(&a, &b);
+        // Idempotent: canonicalising the canonical values is a no-op.
+        let vals: Vec<u64> = a.values().iter().map(|&v| u64::from(v)).collect();
+        prop_assert_eq!(space.canonicalize(&[&vals]), a);
+    }
+
+    /// Every graph edge increases total usage by a VM's exact demand.
+    #[test]
+    fn edges_add_exactly_one_vm((space, vms) in arb_setting()) {
+        let demands: Vec<u64> = vms.iter().map(ProfileVm::total_units).collect();
+        let Ok(graph) = ProfileGraph::build(space, vms, GraphLimits::default()) else {
+            return Ok(()); // no usable VM type: nothing to check
+        };
+        for id in graph.node_ids() {
+            let from: u64 = graph.profile(id).values().iter().map(|&v| u64::from(v)).sum();
+            for &s in graph.successors(id) {
+                let to: u64 = graph
+                    .profile(s)
+                    .values()
+                    .iter()
+                    .map(|&v| u64::from(v))
+                    .sum();
+                prop_assert!(
+                    demands.contains(&(to - from)),
+                    "edge delta {} matches no VM demand {:?}",
+                    to - from,
+                    demands
+                );
+            }
+        }
+    }
+
+    /// PageRank scores form a positive distribution under both
+    /// orientations; BPRU is in (0, 1] and bounded below by the node's own
+    /// utilization.
+    #[test]
+    fn rank_and_bpru_invariants((space, vms) in arb_setting()) {
+        let Ok(graph) = ProfileGraph::build(space, vms, GraphLimits::default()) else {
+            return Ok(());
+        };
+        for orientation in [Orientation::TowardEmptier, Orientation::TowardFuller] {
+            let r = pagerank(
+                &graph,
+                &PageRankConfig { orientation, ..PageRankConfig::default() },
+            );
+            let sum: f64 = r.scores.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6);
+            prop_assert!(r.scores.iter().all(|&s| s > 0.0));
+        }
+        let b = compute_bpru(&graph);
+        for id in graph.node_ids() {
+            let v = b[id as usize];
+            prop_assert!(v > 0.0 && v <= 1.0 + 1e-12);
+            prop_assert!(v >= graph.utilization(id) - 1e-12);
+        }
+    }
+
+    /// The best profile, when reachable, always carries BPRU exactly 1 and
+    /// every node on a path to it does too.
+    #[test]
+    fn bpru_is_one_exactly_on_best_reaching_nodes((space, vms) in arb_setting()) {
+        let Ok(graph) = ProfileGraph::build(space.clone(), vms, GraphLimits::default()) else {
+            return Ok(());
+        };
+        let b = compute_bpru(&graph);
+        if let Some(best) = graph.node(&space.best_profile()) {
+            prop_assert!((b[best as usize] - 1.0).abs() < 1e-12);
+            // Any predecessor of a bpru-1 node has bpru 1.
+            for id in graph.node_ids() {
+                if graph
+                    .successors(id)
+                    .iter()
+                    .any(|&s| (b[s as usize] - 1.0).abs() < 1e-12)
+                {
+                    prop_assert!((b[id as usize] - 1.0).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Full-space tables cover every canonical profile and scores are
+    /// finite and positive.
+    #[test]
+    fn full_table_is_total(dims in 2usize..4, cap in 2u16..4) {
+        let space = ProfileSpace::uniform(dims, cap);
+        let vms = vec![ProfileVm::from_demands("u", vec![vec![1]])];
+        let table = ScoreTable::build_full(
+            space,
+            vms,
+            &PageRankConfig::default(),
+            GraphLimits::default(),
+        )
+        .unwrap();
+        // Count = multisets of size `dims` over {0..cap}: C(dims+cap, dims).
+        let expect = {
+            let n = dims as u64 + u64::from(cap);
+            let k = dims as u64;
+            let mut c = 1u64;
+            for i in 0..k {
+                c = c * (n - i) / (i + 1);
+            }
+            c as usize
+        };
+        prop_assert_eq!(table.len(), expect);
+        for (_, s) in table.iter() {
+            prop_assert!(s.is_finite() && s > 0.0);
+        }
+    }
+}

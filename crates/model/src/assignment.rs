@@ -1,0 +1,53 @@
+//! Concrete placements of a VM onto a PM's physical dimensions.
+//!
+//! An [`Assignment`] is the concrete realisation of the paper's binary
+//! variables: `cores[k] = l` corresponds to `y_{ikjl} = 1` (vCPU `k` runs on
+//! physical core `l`) and `disks[k] = l` to `z_{ikjl} = 1`. The
+//! anti-collocation constraints (Equ. (4) and (9)) become the requirement
+//! that `cores` and `disks` each contain distinct indices.
+
+use serde::{Deserialize, Serialize};
+
+/// Mapping of a VM's permutable demands onto a specific PM's dimensions.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Physical core index hosting each vCPU; parallel to the VM's vCPUs.
+    /// Indices are distinct (CPU anti-collocation, Equ. (4)).
+    pub cores: Vec<usize>,
+    /// Physical disk index hosting each virtual disk; parallel to
+    /// [`crate::VmSpec::disks`]. Indices are distinct (disk anti-collocation,
+    /// Equ. (9)).
+    pub disks: Vec<usize>,
+}
+
+impl Assignment {
+    /// Create an assignment from explicit core and disk choices.
+    #[must_use]
+    pub fn new(cores: Vec<usize>, disks: Vec<usize>) -> Self {
+        Self { cores, disks }
+    }
+
+    /// `true` if both index sets respect anti-collocation (all distinct).
+    #[must_use]
+    pub fn is_anti_collocated(&self) -> bool {
+        fn distinct(v: &[usize]) -> bool {
+            let mut s = v.to_vec();
+            s.sort_unstable();
+            s.windows(2).all(|w| w[0] != w[1])
+        }
+        distinct(&self.cores) && distinct(&self.disks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_collocation_violations() {
+        assert!(Assignment::new(vec![0, 1], vec![2, 3]).is_anti_collocated());
+        assert!(!Assignment::new(vec![0, 0], vec![]).is_anti_collocated());
+        assert!(!Assignment::new(vec![], vec![1, 1]).is_anti_collocated());
+        assert!(Assignment::default().is_anti_collocated());
+    }
+}

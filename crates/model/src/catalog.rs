@@ -1,0 +1,203 @@
+//! The paper's experiment inputs: Table I (VM types), Table II (PM types)
+//! and the GENI testbed shapes (§VI-A).
+//!
+//! Values are verbatim from the paper. Amazon does not publish PM details;
+//! Table II is the authors' plausible sample, reproduced as-is.
+
+use crate::pm::PmSpec;
+use crate::units::{DiskGb, MemMib, Mhz};
+use crate::vm::VmSpec;
+
+/// Table I, row `m3.medium`: 1 vCPU @ 0.6 GHz, 3.75 GiB, 1 x 4 GB disk.
+#[must_use]
+pub fn vm_m3_medium() -> VmSpec {
+    VmSpec::new(
+        "m3.medium",
+        1,
+        Mhz::from_ghz(0.6),
+        MemMib::from_gib(3.75),
+        vec![DiskGb(4)],
+    )
+}
+
+/// Table I, row `m3.large`: 2 vCPU @ 0.6 GHz, 7.5 GiB, 1 x 32 GB disk.
+#[must_use]
+pub fn vm_m3_large() -> VmSpec {
+    VmSpec::new(
+        "m3.large",
+        2,
+        Mhz::from_ghz(0.6),
+        MemMib::from_gib(7.5),
+        vec![DiskGb(32)],
+    )
+}
+
+/// Table I, row `m3.xlarge`: 4 vCPU @ 0.6 GHz, 15 GiB, 2 x 40 GB disks.
+#[must_use]
+pub fn vm_m3_xlarge() -> VmSpec {
+    VmSpec::new(
+        "m3.xlarge",
+        4,
+        Mhz::from_ghz(0.6),
+        MemMib::from_gib(15.0),
+        vec![DiskGb(40), DiskGb(40)],
+    )
+}
+
+/// Table I, row `m3.2xlarge`: 8 vCPU @ 0.6 GHz, 30 GiB, 2 x 80 GB disks.
+#[must_use]
+pub fn vm_m3_2xlarge() -> VmSpec {
+    VmSpec::new(
+        "m3.2xlarge",
+        8,
+        Mhz::from_ghz(0.6),
+        MemMib::from_gib(30.0),
+        vec![DiskGb(80), DiskGb(80)],
+    )
+}
+
+/// Table I, row `c3.large`: 2 vCPU @ 0.7 GHz, 3.75 GiB, 2 x 16 GB disks.
+#[must_use]
+pub fn vm_c3_large() -> VmSpec {
+    VmSpec::new(
+        "c3.large",
+        2,
+        Mhz::from_ghz(0.7),
+        MemMib::from_gib(3.75),
+        vec![DiskGb(16), DiskGb(16)],
+    )
+}
+
+/// Table I, row `c3.xlarge`: 4 vCPU @ 0.7 GHz, 7.5 GiB, 2 x 40 GB disks.
+#[must_use]
+pub fn vm_c3_xlarge() -> VmSpec {
+    VmSpec::new(
+        "c3.xlarge",
+        4,
+        Mhz::from_ghz(0.7),
+        MemMib::from_gib(7.5),
+        vec![DiskGb(40), DiskGb(40)],
+    )
+}
+
+/// All six VM types of Table I, in table order.
+#[must_use]
+pub fn ec2_vm_types() -> Vec<VmSpec> {
+    vec![
+        vm_m3_medium(),
+        vm_m3_large(),
+        vm_m3_xlarge(),
+        vm_m3_2xlarge(),
+        vm_c3_large(),
+        vm_c3_xlarge(),
+    ]
+}
+
+/// Table II, row `M3`: 8 cores @ 2.6 GHz, 64 GiB, 4 x 250 GB disks.
+#[must_use]
+pub fn pm_m3() -> PmSpec {
+    PmSpec::new(
+        "M3",
+        8,
+        Mhz::from_ghz(2.6),
+        MemMib::from_gib(64.0),
+        vec![DiskGb(250); 4],
+    )
+}
+
+/// Table II, row `C3`: 8 cores @ 2.8 GHz, 7.5 GiB, 4 x 250 GB disks.
+#[must_use]
+pub fn pm_c3() -> PmSpec {
+    PmSpec::new(
+        "C3",
+        8,
+        Mhz::from_ghz(2.8),
+        MemMib::from_gib(7.5),
+        vec![DiskGb(250); 4],
+    )
+}
+
+/// Both PM types of Table II.
+#[must_use]
+pub fn ec2_pm_types() -> Vec<PmSpec> {
+    vec![pm_m3(), pm_c3()]
+}
+
+/// GENI testbed PM (§VI-A): a 4-core instance where each physical core can
+/// host 4 vCPUs. Modelled as 4 cores of 4 "slot" units; CPU-only.
+#[must_use]
+pub fn geni_pm() -> PmSpec {
+    PmSpec::new("geni-node", 4, Mhz(4), MemMib::ZERO, Vec::new())
+}
+
+/// GENI VM type `[1,1]`: 2 vCPUs of one slot each on distinct cores.
+#[must_use]
+pub fn geni_vm_2() -> VmSpec {
+    VmSpec::cpu_only("[1,1]", 2, Mhz(1))
+}
+
+/// GENI VM type `[1,1,1,1]`: 4 vCPUs of one slot each on distinct cores.
+#[must_use]
+pub fn geni_vm_4() -> VmSpec {
+    VmSpec::cpu_only("[1,1,1,1]", 4, Mhz(1))
+}
+
+/// The GENI experiment's VM set `{[1,1], [1,1,1,1]}`.
+#[must_use]
+pub fn geni_vm_types() -> Vec<VmSpec> {
+    vec![geni_vm_2(), geni_vm_4()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_matches_paper() {
+        let vms = ec2_vm_types();
+        assert_eq!(vms.len(), 6);
+        assert_eq!(vms[0].vcpus, 1);
+        assert_eq!(vms[0].vcpu_mhz, Mhz(600));
+        assert_eq!(vms[0].memory, MemMib::from_gib(3.75));
+        assert_eq!(vms[0].disks(), &[DiskGb(4)]);
+        assert_eq!(vms[3].vcpus, 8);
+        assert_eq!(vms[3].disks(), &[DiskGb(80), DiskGb(80)]);
+        assert_eq!(vms[4].vcpu_mhz, Mhz(700));
+    }
+
+    #[test]
+    fn table_ii_matches_paper() {
+        let m3 = pm_m3();
+        assert_eq!(m3.cores, 8);
+        assert_eq!(m3.core_mhz, Mhz(2600));
+        assert_eq!(m3.memory, MemMib::from_gib(64.0));
+        assert_eq!(m3.disks().len(), 4);
+        let c3 = pm_c3();
+        assert_eq!(c3.core_mhz, Mhz(2800));
+        assert_eq!(c3.memory, MemMib::from_gib(7.5));
+    }
+
+    #[test]
+    fn every_ec2_vm_fits_an_empty_m3() {
+        let pm = crate::Pm::new(pm_m3());
+        for vm in ec2_vm_types() {
+            assert!(pm.first_feasible(&vm).is_some(), "{} must fit M3", vm.name);
+        }
+    }
+
+    #[test]
+    fn memory_heavy_vms_do_not_fit_c3() {
+        let pm = crate::Pm::new(pm_c3());
+        assert!(pm.first_feasible(&vm_m3_xlarge()).is_none());
+        assert!(pm.first_feasible(&vm_m3_2xlarge()).is_none());
+        assert!(pm.first_feasible(&vm_c3_xlarge()).is_some());
+    }
+
+    #[test]
+    fn geni_shapes() {
+        let pm = crate::Pm::new(geni_pm());
+        // 4 cores x 4 slots = 16 slots; [1,1,1,1] takes one slot on each core.
+        assert!(pm.first_feasible(&geni_vm_4()).is_some());
+        assert_eq!(geni_pm().total_cpu(), Mhz(16));
+    }
+}

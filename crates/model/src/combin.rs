@@ -1,0 +1,341 @@
+//! Enumeration of *distinct* anti-collocated placements.
+//!
+//! A VM's demand on an anti-collocated resource kind (vCPUs on cores,
+//! virtual disks on physical disks) is **permutable**: `{α,α,0,0}` and
+//! `{0,0,α,α}` are the same request (paper §IV). Placing the demand means
+//! picking a *distinct* dimension for each demand element. Naively there are
+//! `P(n, k)` permutations, but dimensions with identical `(used, capacity)`
+//! are interchangeable, so the number of *distinct resulting usage profiles*
+//! is tiny. This module enumerates exactly one representative assignment per
+//! distinct outcome — the operation both Algorithm 2 (scoring every
+//! permutation of a VM's request) and the profile-graph construction rest on.
+
+use std::collections::HashSet;
+
+/// Enumerate one representative assignment per distinct resulting usage
+/// multiset, when placing `demands` onto dimensions with current usage
+/// `used[i]` and capacity `caps[i]`.
+///
+/// Each returned vector is parallel to `demands`: entry `j` is the dimension
+/// index receiving `demands[j]`. All entries within one assignment are
+/// distinct (anti-collocation).
+///
+/// `demands` must be sorted in descending order (callers keep demands
+/// canonicalised; see [`crate::VmSpec::disks`]). Zero-valued demands still
+/// occupy a dimension — the paper's anti-collocation is about *distinctness*,
+/// and all real demands are positive anyway.
+///
+/// # Panics
+///
+/// Panics if `used.len() != caps.len()` or `demands` is not sorted
+/// descending.
+#[must_use]
+pub fn distinct_placements(used: &[u64], caps: &[u64], demands: &[u64]) -> Vec<Vec<usize>> {
+    assert_eq!(used.len(), caps.len(), "used/caps length mismatch");
+    assert!(
+        demands.windows(2).all(|w| w[0] >= w[1]),
+        "demands must be sorted descending"
+    );
+    if demands.len() > used.len() {
+        return Vec::new();
+    }
+    if demands.is_empty() {
+        return vec![Vec::new()];
+    }
+
+    // Group interchangeable dimensions: identical (used, cap) pairs.
+    let mut groups: Vec<(u64, u64, Vec<usize>)> = Vec::new();
+    let mut order: Vec<usize> = (0..used.len()).collect();
+    order.sort_unstable_by_key(|&i| (used[i], caps[i]));
+    for i in order {
+        match groups.last_mut() {
+            Some((u, c, dims)) if *u == used[i] && *c == caps[i] => dims.push(i),
+            _ => groups.push((used[i], caps[i], vec![i])),
+        }
+    }
+
+    // Run-length encode demands by value (they are sorted descending).
+    let mut runs: Vec<(u64, usize)> = Vec::new();
+    for &d in demands {
+        match runs.last_mut() {
+            Some((v, k)) if *v == d => *k += 1,
+            _ => runs.push((d, 1)),
+        }
+    }
+
+    let mut results = Vec::new();
+    let mut taken = vec![0usize; groups.len()]; // dims consumed per group
+    let mut choice: Vec<Vec<usize>> = vec![vec![0; groups.len()]; runs.len()];
+    distribute(
+        &groups,
+        &runs,
+        0,
+        &mut taken,
+        &mut choice,
+        &mut results,
+        demands,
+    );
+
+    // Distinct distributions almost always give distinct outcomes, but we do
+    // not rely on it: dedupe on the resulting usage multiset.
+    let mut seen = HashSet::new();
+    results.retain(|assignment: &Vec<usize>| {
+        let mut outcome = used.to_vec();
+        for (j, &dim) in assignment.iter().enumerate() {
+            outcome[dim] += demands[j];
+        }
+        outcome.sort_unstable();
+        seen.insert(outcome)
+    });
+    results
+}
+
+/// Recursively distribute each run of equal-valued demands over the groups.
+fn distribute(
+    groups: &[(u64, u64, Vec<usize>)],
+    runs: &[(u64, usize)],
+    run_idx: usize,
+    taken: &mut [usize],
+    choice: &mut [Vec<usize>],
+    results: &mut Vec<Vec<usize>>,
+    demands: &[u64],
+) {
+    if run_idx == runs.len() {
+        // Materialise one representative assignment: for each run, hand its
+        // chosen count per group to the next untaken dims of that group.
+        let mut cursor = vec![0usize; groups.len()];
+        let mut assignment = Vec::with_capacity(demands.len());
+        for counts in choice.iter() {
+            for (g, &count) in counts.iter().enumerate() {
+                for _ in 0..count {
+                    assignment.push(groups[g].2[cursor[g]]);
+                    cursor[g] += 1;
+                }
+            }
+        }
+        results.push(assignment);
+        return;
+    }
+
+    let (value, count) = runs[run_idx];
+    // Choose how many of this run's demands go to each group.
+    #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+    fn rec(
+        groups: &[(u64, u64, Vec<usize>)],
+        runs: &[(u64, usize)],
+        run_idx: usize,
+        value: u64,
+        remaining: usize,
+        g: usize,
+        taken: &mut [usize],
+        choice: &mut [Vec<usize>],
+        results: &mut Vec<Vec<usize>>,
+        demands: &[u64],
+    ) {
+        if remaining == 0 {
+            // Zero out the rest of this run's row before descending.
+            for slot in g..groups.len() {
+                choice[run_idx][slot] = 0;
+            }
+            distribute(groups, runs, run_idx + 1, taken, choice, results, demands);
+            return;
+        }
+        if g == groups.len() {
+            return; // demands left over, no group to hold them
+        }
+        let (used, cap, dims) = &groups[g];
+        let fits = used + value <= *cap;
+        let avail = if fits { dims.len() - taken[g] } else { 0 };
+        for c in (0..=avail.min(remaining)).rev() {
+            choice[run_idx][g] = c;
+            taken[g] += c;
+            rec(
+                groups,
+                runs,
+                run_idx,
+                value,
+                remaining - c,
+                g + 1,
+                taken,
+                choice,
+                results,
+                demands,
+            );
+            taken[g] -= c;
+        }
+        choice[run_idx][g] = 0;
+    }
+    rec(
+        groups, runs, run_idx, value, count, 0, taken, choice, results, demands,
+    );
+}
+
+/// Find any single feasible anti-collocated assignment, or `None`.
+///
+/// Greedy: match demands (descending) to dimensions in order of descending
+/// free capacity. Because every demand is compatible with a *prefix* of the
+/// dimensions in that order, the greedy matching is complete: it fails only
+/// when no assignment exists.
+#[must_use]
+pub fn first_feasible(used: &[u64], caps: &[u64], demands: &[u64]) -> Option<Vec<usize>> {
+    assert_eq!(used.len(), caps.len(), "used/caps length mismatch");
+    assert!(
+        demands.windows(2).all(|w| w[0] >= w[1]),
+        "demands must be sorted descending"
+    );
+    if demands.len() > used.len() {
+        return None;
+    }
+    let mut dims: Vec<usize> = (0..used.len()).collect();
+    dims.sort_unstable_by_key(|&i| std::cmp::Reverse(caps[i].saturating_sub(used[i])));
+    let mut assignment = Vec::with_capacity(demands.len());
+    for (j, &d) in demands.iter().enumerate() {
+        let dim = dims[j];
+        if used[dim] + d > caps[dim] {
+            return None;
+        }
+        assignment.push(dim);
+    }
+    Some(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcomes(used: &[u64], caps: &[u64], demands: &[u64]) -> Vec<Vec<u64>> {
+        let mut out: Vec<Vec<u64>> = distinct_placements(used, caps, demands)
+            .into_iter()
+            .map(|a| {
+                let mut v = used.to_vec();
+                for (j, &dim) in a.iter().enumerate() {
+                    v[dim] += demands[j];
+                }
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn empty_demand_has_single_trivial_placement() {
+        assert_eq!(distinct_placements(&[0, 0], &[4, 4], &[]), vec![vec![]]);
+    }
+
+    #[test]
+    fn too_many_demands_yields_nothing() {
+        assert!(distinct_placements(&[0, 0], &[4, 4], &[1, 1, 1]).is_empty());
+    }
+
+    #[test]
+    fn identical_dims_collapse_to_one_outcome() {
+        // Placing [1,1] on an empty 4-core PM: only one distinct outcome.
+        let p = distinct_placements(&[0, 0, 0, 0], &[4, 4, 4, 4], &[1, 1]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(outcomes(&[0, 0, 0, 0], &[4, 4, 4, 4], &[1, 1]), vec![vec![0, 0, 1, 1]]);
+    }
+
+    #[test]
+    fn distinct_usages_generate_multiple_outcomes() {
+        // Paper §V-A: profile [2,2,0,0] hosting a [1,1] VM can become
+        // [3,3,0,0], [3,2,1,0] (i.e. [2,0]+1s split) or [2,2,1,1].
+        let got = outcomes(&[2, 2, 0, 0], &[4, 4, 4, 4], &[1, 1]);
+        assert_eq!(
+            got,
+            vec![vec![0, 0, 3, 3], vec![0, 1, 2, 3], vec![1, 1, 2, 2]]
+        );
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        // One core is full: the [1,1,1,1] VM no longer fits.
+        assert!(distinct_placements(&[4, 0, 0, 0], &[4, 4, 4, 4], &[1, 1, 1, 1]).is_empty());
+        // But [1,1] still fits on the three free cores.
+        let got = outcomes(&[4, 0, 0, 0], &[4, 4, 4, 4], &[1, 1]);
+        assert_eq!(got, vec![vec![0, 1, 1, 4]]);
+    }
+
+    #[test]
+    fn heterogeneous_demands() {
+        // Two disks of different size onto two empty disks: one outcome
+        // (disks interchangeable).
+        let p = distinct_placements(&[0, 0], &[250, 250], &[40, 8]);
+        assert_eq!(p.len(), 1);
+        // Onto disks with different usage: both pairings are distinct.
+        let got = outcomes(&[10, 0], &[250, 250], &[40, 8]);
+        assert_eq!(got, vec![vec![8, 50], vec![18, 40]]);
+    }
+
+    #[test]
+    fn anti_collocation_within_assignment() {
+        for a in distinct_placements(&[0, 1, 2, 3], &[4, 4, 4, 4], &[1, 1, 1]) {
+            let mut dims = a.clone();
+            dims.sort_unstable();
+            dims.dedup();
+            assert_eq!(dims.len(), a.len(), "assignment reused a dimension: {a:?}");
+        }
+    }
+
+    #[test]
+    fn representative_assignment_matches_outcome_count() {
+        // 8 cores, mixed usage; 4-vCPU VM.
+        let used = [0, 0, 1, 1, 2, 2, 3, 3];
+        let caps = [4u64; 8];
+        let placements = distinct_placements(&used, &caps, &[1, 1, 1, 1]);
+        // Choose 4 of the 4 usage groups with repetition, bounded by group
+        // size 2: compositions of 4 into 4 parts each <= 2 and value 3 group
+        // excluded (3+1 <= 4 ok, so included).
+        let outcomes: HashSet<Vec<u64>> = placements
+            .iter()
+            .map(|a| {
+                let mut v = used.to_vec();
+                for (j, &dim) in a.iter().enumerate() {
+                    v[dim] += [1u64, 1, 1, 1][j];
+                }
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        assert_eq!(outcomes.len(), placements.len(), "duplicate outcomes");
+        assert!(!placements.is_empty());
+    }
+
+    #[test]
+    fn first_feasible_agrees_with_enumeration() {
+        let cases: &[(&[u64], &[u64], &[u64])] = &[
+            (&[0, 0, 0, 0], &[4, 4, 4, 4], &[1, 1]),
+            (&[4, 4, 4, 4], &[4, 4, 4, 4], &[1]),
+            (&[3, 3, 2, 2], &[4, 4, 4, 4], &[1, 1, 1, 1]),
+            (&[3, 3, 2, 2], &[4, 4, 4, 4], &[2, 2]),
+            (&[2, 1], &[4, 4], &[3, 2]),
+            (&[2, 1], &[4, 4], &[3, 3]),
+        ];
+        for &(used, caps, demands) in cases {
+            let any = first_feasible(used, caps, demands);
+            let all = distinct_placements(used, caps, demands);
+            assert_eq!(
+                any.is_some(),
+                !all.is_empty(),
+                "disagreement for {used:?} {demands:?}"
+            );
+            if let Some(a) = any {
+                for (j, &dim) in a.iter().enumerate() {
+                    assert!(used[dim] + demands[j] <= caps[dim]);
+                }
+                let mut d = a.clone();
+                d.sort_unstable();
+                d.dedup();
+                assert_eq!(d.len(), a.len());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_capacity_dimensions_never_receive_positive_demand() {
+        let p = distinct_placements(&[0, 0], &[0, 4], &[1]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0], vec![1]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error types shared across the workspace.
+
+use crate::cluster::{PmId, VmId};
+use std::error::Error;
+use std::fmt;
+
+/// Reasons a placement attempt can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// No PM in the cluster can host the VM (the paper's "no solution" exit
+    /// in Algorithm 2).
+    NoFeasiblePm,
+    /// The specific PM lacks resources or has no anti-collocation-respecting
+    /// assignment for the VM.
+    InfeasibleAssignment {
+        /// The PM that was attempted.
+        pm: PmId,
+    },
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoFeasiblePm => write!(f, "no PM can host the VM"),
+            Self::InfeasibleAssignment { pm } => {
+                write!(f, "no feasible anti-collocated assignment on PM {}", pm.0)
+            }
+        }
+    }
+}
+
+impl Error for PlaceError {}
+
+/// Errors raised by model bookkeeping (lookups, double-frees, invalid
+/// assignments).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A VM id is not present in the cluster.
+    UnknownVm(VmId),
+    /// A PM id is out of range for the cluster.
+    UnknownPm(PmId),
+    /// An assignment violates shape, capacity or anti-collocation rules.
+    InvalidAssignment {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownVm(id) => write!(f, "unknown VM id {}", id.0),
+            Self::UnknownPm(id) => write!(f, "unknown PM id {}", id.0),
+            Self::InvalidAssignment { reason } => write!(f, "invalid assignment: {reason}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_meaningful() {
+        let e = PlaceError::NoFeasiblePm;
+        assert_eq!(e.to_string(), "no PM can host the VM");
+        let e = ModelError::UnknownVm(VmId(7));
+        assert!(e.to_string().contains('7'));
+        let e = ModelError::InvalidAssignment {
+            reason: "duplicate core".into(),
+        };
+        assert!(e.to_string().contains("duplicate core"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlaceError>();
+        assert_send_sync::<ModelError>();
+    }
+}

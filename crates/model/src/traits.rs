@@ -1,0 +1,149 @@
+//! Algorithm interfaces shared by `pagerankvm` and `prvm-baselines`.
+
+use crate::assignment::Assignment;
+use crate::cluster::{Cluster, PmId, VmId};
+use crate::error::PlaceError;
+use crate::pm::Pm;
+use crate::units::Mhz;
+use crate::vm::VmSpec;
+
+/// The outcome of a placement choice: a PM and the concrete
+/// anti-collocation-respecting assignment to apply there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementDecision {
+    /// The chosen PM.
+    pub pm: PmId,
+    /// Where each vCPU / virtual disk lands.
+    pub assignment: Assignment,
+}
+
+/// A VM placement algorithm (PageRankVM or a baseline).
+///
+/// Implementations must *not* mutate the cluster — they only choose; the
+/// caller applies the decision via [`Cluster::place`]. This keeps every
+/// algorithm trivially comparable under the same driver.
+pub trait PlacementAlgorithm {
+    /// Short name used in experiment output (e.g. `"PageRankVM"`, `"FF"`).
+    fn name(&self) -> &str;
+
+    /// Reorder a batch of requests before sequential placement. Only
+    /// FFDSum overrides this (decreasing normalised size); the default is
+    /// arrival order.
+    fn order_batch(&self, _vms: &mut [VmSpec]) {}
+
+    /// Choose a PM and assignment for `vm`, skipping PMs for which
+    /// `exclude` returns `true` (used to keep migrations away from
+    /// overloaded hosts). Returns `None` when no PM can host the VM.
+    fn choose(
+        &mut self,
+        cluster: &Cluster,
+        vm: &VmSpec,
+        exclude: &dyn Fn(PmId) -> bool,
+    ) -> Option<PlacementDecision>;
+}
+
+/// Picks which VM to evict from an overloaded PM.
+pub trait EvictionPolicy {
+    /// Short name used in experiment output.
+    fn name(&self) -> &str;
+
+    /// Choose the next VM to evict from `pm`. `cpu_demand` reports each
+    /// resident VM's *current* CPU demand (trace-driven, may be below its
+    /// reservation). Returns `None` if the PM hosts no VMs.
+    fn select(&mut self, pm: &Pm, cpu_demand: &dyn Fn(VmId) -> Mhz) -> Option<VmId>;
+}
+
+/// Drive an algorithm over a batch of requests: order them, then place each
+/// in sequence (the paper's initial VM allocation).
+///
+/// # Errors
+///
+/// Returns [`PlaceError::NoFeasiblePm`] on the first request no PM can
+/// host; earlier placements remain applied (mirroring Algorithm 2's "Exit —
+/// no solution").
+pub fn place_batch(
+    algo: &mut dyn PlacementAlgorithm,
+    cluster: &mut Cluster,
+    mut vms: Vec<VmSpec>,
+) -> Result<Vec<VmId>, PlaceError> {
+    algo.order_batch(&mut vms);
+    let mut ids = Vec::with_capacity(vms.len());
+    for vm in vms {
+        let decision = algo
+            .choose(cluster, &vm, &|_| false)
+            .ok_or(PlaceError::NoFeasiblePm)?;
+        let id = cluster
+            .place(decision.pm, vm, decision.assignment)
+            .map_err(|_| PlaceError::InfeasibleAssignment { pm: decision.pm })?;
+        ids.push(id);
+    }
+    Ok(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    /// A toy first-fit used to exercise the driver without depending on the
+    /// baselines crate.
+    struct ToyFirstFit;
+
+    impl PlacementAlgorithm for ToyFirstFit {
+        fn name(&self) -> &str {
+            "toy-ff"
+        }
+
+        fn choose(
+            &mut self,
+            cluster: &Cluster,
+            vm: &VmSpec,
+            exclude: &dyn Fn(PmId) -> bool,
+        ) -> Option<PlacementDecision> {
+            cluster
+                .used_pms()
+                .chain(cluster.unused_pms())
+                .filter(|&pm| !exclude(pm))
+                .find_map(|pm| {
+                    cluster
+                        .pm(pm)
+                        .first_feasible(vm)
+                        .map(|assignment| PlacementDecision { pm, assignment })
+                })
+        }
+    }
+
+    #[test]
+    fn place_batch_places_everything_when_capacity_suffices() {
+        let mut cluster = Cluster::homogeneous(catalog::pm_m3(), 4);
+        let vms = vec![catalog::vm_m3_large(); 6];
+        let ids = place_batch(&mut ToyFirstFit, &mut cluster, vms).unwrap();
+        assert_eq!(ids.len(), 6);
+        assert_eq!(cluster.vm_count(), 6);
+    }
+
+    #[test]
+    fn place_batch_reports_no_solution() {
+        let mut cluster = Cluster::homogeneous(catalog::pm_c3(), 1);
+        // C3 has 7.5 GiB; three m3.large (7.5 GiB each) cannot all fit.
+        let vms = vec![catalog::vm_m3_large(); 3];
+        let err = place_batch(&mut ToyFirstFit, &mut cluster, vms).unwrap_err();
+        assert_eq!(err, PlaceError::NoFeasiblePm);
+        assert_eq!(cluster.vm_count(), 1, "placements before failure remain");
+    }
+
+    #[test]
+    fn exclusion_is_respected() {
+        let cluster = {
+            let mut c = Cluster::homogeneous(catalog::pm_m3(), 2);
+            let vm = catalog::vm_m3_medium();
+            let a = c.pm(PmId(0)).first_feasible(&vm).unwrap();
+            c.place(PmId(0), vm, a).unwrap();
+            c
+        };
+        let mut algo = ToyFirstFit;
+        let vm = catalog::vm_m3_medium();
+        let d = algo.choose(&cluster, &vm, &|pm| pm == PmId(0)).unwrap();
+        assert_eq!(d.pm, PmId(1));
+    }
+}

@@ -1,0 +1,169 @@
+//! Virtual machine requests.
+//!
+//! A [`VmSpec`] is the paper's `r_i = {c_i, β_i, d_i}`: a set of vCPUs (all
+//! of equal capacity, as the paper assumes `α_i^1 = … = α_i^{|c_i|}`), a
+//! memory demand, and a set of virtual disks. The vCPU and disk demands are
+//! **permutable**: the request does not care which physical core or disk each
+//! lands on, only that they land on *distinct* ones (anti-collocation).
+
+use crate::units::{DiskGb, MemMib, Mhz};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Resource request of one virtual machine (the paper's `r_i`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VmSpec {
+    /// Human-readable type name, e.g. `"m3.large"`.
+    pub name: String,
+    /// Number of requested vCPUs, `|c_i|`. Each must be placed on a distinct
+    /// physical core.
+    pub vcpus: u32,
+    /// Capacity requested by *each* vCPU (`α_i^k`).
+    pub vcpu_mhz: Mhz,
+    /// Memory requirement `β_i`.
+    pub memory: MemMib,
+    /// Requested virtual disk sizes (`γ_i^k`), each on a distinct physical
+    /// disk. Stored sorted descending so equal specs compare equal.
+    disks: Vec<DiskGb>,
+}
+
+impl VmSpec {
+    /// Create a VM spec.
+    ///
+    /// `disks` may be given in any order; it is canonicalised (sorted
+    /// descending) so that two specs with the same multiset of disks are
+    /// equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcpus == 0` — the model has no use for a VM without CPU.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        vcpus: u32,
+        vcpu_mhz: Mhz,
+        memory: MemMib,
+        mut disks: Vec<DiskGb>,
+    ) -> Self {
+        assert!(vcpus > 0, "a VM must request at least one vCPU");
+        disks.sort_unstable_by(|a, b| b.cmp(a));
+        Self {
+            name: name.into(),
+            vcpus,
+            vcpu_mhz,
+            memory,
+            disks,
+        }
+    }
+
+    /// A CPU-only VM type, used by the GENI testbed experiment (e.g. the
+    /// paper's `[1,1]` and `[1,1,1,1]` types).
+    #[must_use]
+    pub fn cpu_only(name: impl Into<String>, vcpus: u32, vcpu_mhz: Mhz) -> Self {
+        Self::new(name, vcpus, vcpu_mhz, MemMib::ZERO, Vec::new())
+    }
+
+    /// The requested virtual disk sizes, sorted descending.
+    #[must_use]
+    pub fn disks(&self) -> &[DiskGb] {
+        &self.disks
+    }
+
+    /// Total CPU demand across all vCPUs.
+    #[must_use]
+    pub fn total_cpu(&self) -> Mhz {
+        Mhz(self.vcpu_mhz.get() * u64::from(self.vcpus))
+    }
+
+    /// Total disk demand across all virtual disks.
+    #[must_use]
+    pub fn total_disk(&self) -> DiskGb {
+        self.disks.iter().copied().sum()
+    }
+
+    /// The FFDSum "size" of this VM: the sum of its demands, each normalised
+    /// by the corresponding capacity of a reference PM. Used by the FFDSum
+    /// baseline to order VMs decreasingly.
+    #[must_use]
+    pub fn normalized_size(&self, cpu_cap: Mhz, mem_cap: MemMib, disk_cap: DiskGb) -> f64 {
+        self.total_cpu().fraction_of(cpu_cap)
+            + self.memory.fraction_of(mem_cap)
+            + self.total_disk().fraction_of(disk_cap)
+    }
+}
+
+impl fmt::Display for VmSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} vCPU x {}, {}, {} disks)",
+            self.name,
+            self.vcpus,
+            self.vcpu_mhz,
+            self.memory,
+            self.disks.len()
+        )
+    }
+}
+
+/// A concrete VM instance: a spec plus the identity it carries through a
+/// simulation. Instances are created by [`crate::Cluster::place`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vm {
+    /// Identity within a [`crate::Cluster`].
+    pub id: crate::cluster::VmId,
+    /// The resource request.
+    pub spec: VmSpec,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> VmSpec {
+        VmSpec::new(
+            "m3.xlarge",
+            4,
+            Mhz(600),
+            MemMib::from_gib(15.0),
+            vec![DiskGb(40), DiskGb(40)],
+        )
+    }
+
+    #[test]
+    fn totals() {
+        let s = spec();
+        assert_eq!(s.total_cpu(), Mhz(2400));
+        assert_eq!(s.total_disk(), DiskGb(80));
+    }
+
+    #[test]
+    fn disks_are_canonicalised() {
+        let a = VmSpec::new("x", 1, Mhz(100), MemMib(0), vec![DiskGb(1), DiskGb(9)]);
+        let b = VmSpec::new("x", 1, Mhz(100), MemMib(0), vec![DiskGb(9), DiskGb(1)]);
+        assert_eq!(a, b);
+        assert_eq!(a.disks(), &[DiskGb(9), DiskGb(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vCPU")]
+    fn zero_vcpus_rejected() {
+        let _ = VmSpec::cpu_only("bad", 0, Mhz(100));
+    }
+
+    #[test]
+    fn normalized_size_sums_fractions() {
+        let s = VmSpec::new("x", 2, Mhz(500), MemMib(1024), vec![DiskGb(50)]);
+        let size = s.normalized_size(Mhz(2000), MemMib(4096), DiskGb(100));
+        // 1000/2000 + 1024/4096 + 50/100 = 0.5 + 0.25 + 0.5
+        assert!((size - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_only_has_no_memory_or_disk() {
+        let s = VmSpec::cpu_only("[1,1]", 2, Mhz(650));
+        assert_eq!(s.memory, MemMib::ZERO);
+        assert!(s.disks().is_empty());
+        assert_eq!(s.total_cpu(), Mhz(1300));
+    }
+}

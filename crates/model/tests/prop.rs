@@ -1,0 +1,154 @@
+//! Property-based tests of the model crate's invariants.
+
+use proptest::prelude::*;
+use prvm_model::{catalog, Cluster, DiskGb, MemMib, Mhz, Pm, PmId, PmSpec, VmId, VmSpec};
+
+/// A random VM that structurally fits an M3 (shape only; capacity may
+/// still reject it).
+fn arb_vm() -> impl Strategy<Value = VmSpec> {
+    (
+        1u32..=8,
+        100u64..=1500,
+        0u64..=20_000,
+        prop::collection::vec(1u64..=120, 0..4),
+    )
+        .prop_map(|(vcpus, mhz, mem, disks)| {
+            VmSpec::new(
+                "rand",
+                vcpus,
+                Mhz(mhz),
+                MemMib(mem),
+                disks.into_iter().map(DiskGb).collect(),
+            )
+        })
+}
+
+/// A random sequence of place/remove operations.
+#[derive(Debug, Clone)]
+enum Op {
+    Place(VmSpec),
+    RemoveNth(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            arb_vm().prop_map(Op::Place),
+            (0usize..8).prop_map(Op::RemoveNth),
+        ],
+        1..40,
+    )
+}
+
+proptest! {
+    /// Place/remove sequences keep a PM's books exact: per-core, memory
+    /// and per-disk reservations always equal the sum over resident VMs.
+    #[test]
+    fn pm_accounting_is_exact(ops in arb_ops()) {
+        let mut pm = Pm::new(catalog::pm_m3());
+        let mut next = 0u64;
+        let mut resident: Vec<VmId> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Place(vm) => {
+                    if let Some(a) = pm.first_feasible(&vm) {
+                        let id = VmId(next);
+                        next += 1;
+                        pm.place(id, vm, a).expect("feasible placement");
+                        resident.push(id);
+                    }
+                }
+                Op::RemoveNth(n) => {
+                    if !resident.is_empty() {
+                        let id = resident.remove(n % resident.len());
+                        pm.remove(id).expect("resident VM removes");
+                    }
+                }
+            }
+            // Invariant: books match the resident set.
+            let mut cores = [Mhz::ZERO; 8];
+            let mut mem = MemMib::ZERO;
+            let mut disks = [DiskGb::ZERO; 4];
+            for (_, vm, a) in pm.vms() {
+                for &c in &a.cores {
+                    cores[c] += vm.vcpu_mhz;
+                }
+                mem += vm.memory;
+                for (k, &d) in a.disks.iter().enumerate() {
+                    disks[d] += vm.disks()[k];
+                }
+            }
+            prop_assert_eq!(pm.core_used(), &cores[..]);
+            prop_assert_eq!(pm.mem_used(), mem);
+            prop_assert_eq!(pm.disk_used(), &disks[..]);
+            // Capacity invariants.
+            prop_assert!(pm.core_used().iter().all(|&c| c <= pm.spec().core_mhz));
+            prop_assert!(pm.mem_used() <= pm.spec().memory);
+        }
+    }
+
+    /// `first_feasible` only returns assignments `validate` accepts, and
+    /// never claims feasibility beyond `distinct_feasible`.
+    #[test]
+    fn feasibility_checks_agree(vm in arb_vm()) {
+        let pm = Pm::new(catalog::pm_m3());
+        let quick = pm.first_feasible(&vm);
+        let all = pm.distinct_feasible(&vm);
+        prop_assert_eq!(quick.is_some(), !all.is_empty());
+        if let Some(a) = quick {
+            pm.validate(&vm, &a).expect("first_feasible is valid");
+        }
+        for a in all {
+            pm.validate(&vm, &a).expect("distinct_feasible is valid");
+        }
+    }
+
+    /// Cluster used/unused lists always partition the PM set, and
+    /// ever-used only grows.
+    #[test]
+    fn cluster_lists_partition(vms in prop::collection::vec(arb_vm(), 1..30)) {
+        let mut cluster = Cluster::homogeneous(catalog::pm_m3(), 6);
+        let mut placed: Vec<VmId> = Vec::new();
+        let mut ever = 0usize;
+        for (i, vm) in vms.into_iter().enumerate() {
+            // Alternate placing and removing.
+            if i % 3 == 2 && !placed.is_empty() {
+                let id = placed.remove(i % placed.len());
+                cluster.remove(id).expect("placed VM");
+            } else {
+                let target = PmId(i % cluster.len());
+                if let Some(a) = cluster.pm(target).first_feasible(&vm) {
+                    placed.push(cluster.place(target, vm, a).expect("feasible"));
+                }
+            }
+            let used: std::collections::HashSet<_> = cluster.used_pms().collect();
+            let unused: std::collections::HashSet<_> = cluster.unused_pms().collect();
+            prop_assert!(used.is_disjoint(&unused));
+            prop_assert_eq!(used.len() + unused.len(), cluster.len());
+            for pm in &used {
+                prop_assert!(!cluster.pm(*pm).is_empty());
+            }
+            for pm in &unused {
+                prop_assert!(cluster.pm(*pm).is_empty());
+            }
+            let now = cluster.ever_used_count();
+            prop_assert!(now >= ever);
+            ever = now;
+        }
+    }
+
+    /// Quantized feasibility in ceil dimensions (memory, disk) implies
+    /// real feasibility; a quantized-memory-feasible placement never
+    /// violates real memory.
+    #[test]
+    fn quantized_memory_is_conservative(vm in arb_vm()) {
+        let q = prvm_model::Quantizer::default();
+        let spec: PmSpec = catalog::pm_m3();
+        let qpm = q.quantize_pm(&spec);
+        let qvm = q.quantize_vm(&vm, &spec);
+        if qvm.mem_units <= qpm.mem_cap {
+            // ceil(mem * L / cap) <= L  implies  mem <= cap.
+            prop_assert!(vm.memory <= spec.memory);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Simulation configuration (§VI-A, "Simulation").
+
+use prvm_traces::TraceKind;
+use serde::{Deserialize, Serialize};
+
+/// Timing and threshold parameters of the simulated datacenter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Seconds between utilization scans; the paper uses 300 s.
+    pub scan_interval_s: u64,
+    /// Total simulated time; the paper simulates 24 h.
+    pub horizon_s: u64,
+    /// A PM whose CPU utilization exceeds this fraction is overloaded and
+    /// triggers migration; the paper uses 0.9.
+    pub overload_threshold: f64,
+    /// A scan where an active PM's demand reaches this fraction counts as
+    /// an SLO violation; the paper uses 1.0 (100 % CPU).
+    pub slo_threshold: f64,
+    /// CPU burst factor: a vCPU rated `α` GHz may consume up to
+    /// `burst_factor · α` when the trace drives it hot. EC2 vCPU ratings
+    /// are baseline guarantees, not caps; bursting is what makes packed
+    /// hosts overload in CloudSim's utilization-driven runs (DESIGN.md §4).
+    pub burst_factor: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            scan_interval_s: 300,
+            horizon_s: 24 * 3600,
+            overload_threshold: 0.9,
+            slo_threshold: 1.0,
+            burst_factor: 6.0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Number of scan intervals in the horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scan_interval_s` is zero.
+    #[must_use]
+    pub fn scans(&self) -> usize {
+        assert!(self.scan_interval_s > 0, "scan interval must be positive");
+        (self.horizon_s / self.scan_interval_s) as usize
+    }
+}
+
+/// Workload shape: how many VMs, which trace family drives them, and how
+/// large the PM pool is.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of VM requests (the paper sweeps 1000–3000).
+    pub n_vms: usize,
+    /// The trace archive to emulate.
+    pub trace_kind: TraceKind,
+    /// M3 PMs available. Pools are sized generously — the metric is how
+    /// many get *used*, not how many exist.
+    pub m3_pms: usize,
+    /// C3 PMs available.
+    pub c3_pms: usize,
+}
+
+impl WorkloadConfig {
+    /// A pool comfortably larger than any algorithm needs for `n_vms`
+    /// EC2-mix VMs: one M3 per VM plus half as many C3s.
+    #[must_use]
+    pub fn sized_for(n_vms: usize, trace_kind: TraceKind) -> Self {
+        Self {
+            n_vms,
+            trace_kind,
+            m3_pms: n_vms.max(4),
+            c3_pms: (n_vms / 2).max(2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = SimConfig::default();
+        assert_eq!(c.scan_interval_s, 300);
+        assert_eq!(c.horizon_s, 86400);
+        assert_eq!(c.scans(), 288);
+        assert_eq!(c.overload_threshold, 0.9);
+    }
+
+    #[test]
+    fn sized_pool_scales_with_vms() {
+        let w = WorkloadConfig::sized_for(3000, TraceKind::PlanetLab);
+        assert_eq!(w.m3_pms, 3000);
+        assert_eq!(w.c3_pms, 1500);
+        let w = WorkloadConfig::sized_for(1, TraceKind::GoogleCluster);
+        assert!(w.m3_pms >= 4 && w.c3_pms >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scan_interval_rejected() {
+        let c = SimConfig {
+            scan_interval_s: 0,
+            ..SimConfig::default()
+        };
+        let _ = c.scans();
+    }
+}

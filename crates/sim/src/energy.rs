@@ -1,0 +1,113 @@
+//! The paper's energy model (Table III).
+//!
+//! Power consumption is a piecewise-linear function of CPU utilization,
+//! sampled at 0 %, 20 %, …, 100 %. The two curves are the paper's scaled
+//! figures for the M3 (Intel Xeon E5-2670 v2) and C3 (E5-2680 v2) server
+//! types. A PM that hosts no VM is powered off and consumes nothing; an
+//! idle-but-on PM consumes the 0 % figure.
+
+use serde::{Deserialize, Serialize};
+
+/// Sampling points of Table III (fractions of full CPU utilization).
+pub const UTILIZATION_POINTS: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// A piecewise-linear power curve: watts at each of
+/// [`UTILIZATION_POINTS`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerCurve {
+    /// Watts at 0 %, 20 %, 40 %, 60 %, 80 %, 100 % utilization.
+    pub watts: [f64; 6],
+}
+
+impl PowerCurve {
+    /// Table III, row E5-2670 (the M3 server).
+    pub const E5_2670: Self = Self {
+        watts: [337.3, 349.2, 363.6, 378.0, 396.0, 417.6],
+    };
+
+    /// Table III, row E5-2680 (the C3 server).
+    pub const E5_2680: Self = Self {
+        watts: [394.4, 408.3, 425.2, 442.0, 463.1, 488.3],
+    };
+
+    /// The curve for a PM type by its Table II name; unknown types get the
+    /// E5-2670 curve (documented default).
+    #[must_use]
+    pub fn for_pm_type(name: &str) -> Self {
+        match name {
+            "C3" => Self::E5_2680,
+            _ => Self::E5_2670,
+        }
+    }
+
+    /// Watts drawn at `utilization` (clamped into `[0, 1]`), linearly
+    /// interpolated between table points.
+    #[must_use]
+    pub fn watts_at(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        let scaled = u * 5.0;
+        let lo = (scaled.floor() as usize).min(4);
+        let frac = scaled - lo as f64;
+        self.watts[lo] + (self.watts[lo + 1] - self.watts[lo]) * frac
+    }
+
+    /// Energy in watt-hours for holding `utilization` for
+    /// `duration_seconds`.
+    #[must_use]
+    pub fn energy_wh(&self, utilization: f64, duration_seconds: f64) -> f64 {
+        self.watts_at(utilization) * duration_seconds / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_points_are_exact() {
+        let m3 = PowerCurve::E5_2670;
+        assert_eq!(m3.watts_at(0.0), 337.3);
+        assert_eq!(m3.watts_at(0.2), 349.2);
+        assert_eq!(m3.watts_at(1.0), 417.6);
+        let c3 = PowerCurve::E5_2680;
+        assert_eq!(c3.watts_at(0.6), 442.0);
+    }
+
+    #[test]
+    fn interpolation_is_linear_between_points() {
+        let m3 = PowerCurve::E5_2670;
+        // Midpoint of 0 % and 20 %.
+        let mid = m3.watts_at(0.1);
+        assert!((mid - (337.3 + 349.2) / 2.0).abs() < 1e-9);
+        // Monotone over the whole range.
+        let mut last = 0.0;
+        for i in 0..=100 {
+            let w = m3.watts_at(i as f64 / 100.0);
+            assert!(w >= last);
+            last = w;
+        }
+    }
+
+    #[test]
+    fn utilization_is_clamped() {
+        let c = PowerCurve::E5_2670;
+        assert_eq!(c.watts_at(-0.5), c.watts_at(0.0));
+        assert_eq!(c.watts_at(1.7), c.watts_at(1.0));
+    }
+
+    #[test]
+    fn energy_integrates_power_over_time() {
+        let c = PowerCurve::E5_2670;
+        // One hour at 100 %: exactly 417.6 Wh.
+        assert!((c.energy_wh(1.0, 3600.0) - 417.6).abs() < 1e-9);
+        // 300 s at 0 %: 337.3 * 300/3600.
+        assert!((c.energy_wh(0.0, 300.0) - 337.3 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pm_type_lookup() {
+        assert_eq!(PowerCurve::for_pm_type("M3"), PowerCurve::E5_2670);
+        assert_eq!(PowerCurve::for_pm_type("C3"), PowerCurve::E5_2680);
+        assert_eq!(PowerCurve::for_pm_type("other"), PowerCurve::E5_2670);
+    }
+}

@@ -1,0 +1,442 @@
+//! The simulation engine: initial placement, periodic scans, overload
+//! detection, migration and the four metrics of §VI.
+
+use crate::config::SimConfig;
+use crate::energy::PowerCurve;
+use crate::workload::Workload;
+use prvm_model::{Cluster, EvictionPolicy, Mhz, PlacementAlgorithm, PmId, VmId};
+use prvm_traces::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Everything one simulated run produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Distinct PMs that hosted at least one VM at any time.
+    pub pms_used: usize,
+    /// PMs active immediately after the initial allocation.
+    pub pms_used_initial: usize,
+    /// Maximum number of *simultaneously* active PMs over the run — the
+    /// PMs the datacenter actually needs to provide the service (the
+    /// paper's Fig. 3 metric; EXPERIMENTS.md reports all three variants).
+    pub pms_used_max_active: usize,
+    /// Cumulative datacenter energy over the horizon, in kWh (Fig. 5).
+    pub energy_kwh: f64,
+    /// Number of VM migrations triggered by overload (Fig. 6).
+    pub migrations: usize,
+    /// Percentage of (active PM, scan) samples at or beyond the SLO
+    /// threshold (Fig. 7): the SLATAH-style metric of \[11\].
+    pub slo_violation_pct: f64,
+    /// Scans in which at least one PM was overloaded.
+    pub overload_events: usize,
+    /// Requests no PM could host at initial placement (0 when the pool is
+    /// sized correctly).
+    pub rejected_vms: usize,
+}
+
+/// Live CPU demand of one VM at scan `t`: its utilization trace times its
+/// burstable capacity — `burst_factor ×` the per-vCPU reservation, but a
+/// vCPU can never consume more than one physical core of its host
+/// (`host_core_mhz`).
+fn live_demand(
+    vcpus: u64,
+    vcpu_mhz: Mhz,
+    host_core_mhz: Mhz,
+    trace: &Trace,
+    t: usize,
+    burst: f64,
+) -> Mhz {
+    let per_vcpu = (vcpu_mhz.get() as f64 * burst).min(host_core_mhz.get() as f64);
+    Mhz((trace.at(t) * per_vcpu * vcpus as f64).round() as u64)
+}
+
+/// Run one simulation: place `workload` with `placer`, then scan for
+/// [`SimConfig::scans`] intervals, migrating VMs off overloaded PMs with
+/// `evictor` + `placer`.
+///
+/// Deterministic given the workload seed and the algorithms.
+#[must_use]
+pub fn simulate(
+    sim: &SimConfig,
+    cluster: Cluster,
+    workload: &Workload,
+    placer: &mut dyn PlacementAlgorithm,
+    evictor: &mut dyn EvictionPolicy,
+) -> SimOutcome {
+    simulate_impl(sim, cluster, workload, placer, evictor, None)
+}
+
+/// Like [`simulate`], additionally recording a per-scan
+/// [`crate::TimeSeries`] (active PMs, utilization, overloads, migrations,
+/// energy) for plotting or debugging.
+#[must_use]
+pub fn simulate_traced(
+    sim: &SimConfig,
+    cluster: Cluster,
+    workload: &Workload,
+    placer: &mut dyn PlacementAlgorithm,
+    evictor: &mut dyn EvictionPolicy,
+) -> (SimOutcome, crate::TimeSeries) {
+    let mut ts = crate::TimeSeries::new();
+    let outcome = simulate_impl(sim, cluster, workload, placer, evictor, Some(&mut ts));
+    (outcome, ts)
+}
+
+fn simulate_impl(
+    sim: &SimConfig,
+    mut cluster: Cluster,
+    workload: &Workload,
+    placer: &mut dyn PlacementAlgorithm,
+    evictor: &mut dyn EvictionPolicy,
+    mut recorder: Option<&mut crate::TimeSeries>,
+) -> SimOutcome {
+    let scans = sim.scans();
+
+    // --- Initial allocation (Algorithm 2 driver) ------------------------
+    let mut specs = workload.specs.clone();
+    placer.order_batch(&mut specs);
+    let traces = workload.draw_traces(specs.len());
+
+    let mut vm_demand: HashMap<VmId, (u64, Mhz, Trace)> = HashMap::new();
+    let mut rejected = 0usize;
+    for (spec, trace) in specs.into_iter().zip(traces) {
+        match placer.choose(&cluster, &spec, &|_| false) {
+            Some(d) => {
+                let shape = (u64::from(spec.vcpus), spec.vcpu_mhz);
+                let id = cluster
+                    .place(d.pm, spec, d.assignment)
+                    .expect("algorithm decisions are validated placements");
+                vm_demand.insert(id, (shape.0, shape.1, trace));
+            }
+            None => rejected += 1,
+        }
+    }
+    let pms_used_initial = cluster.active_pm_count();
+    let mut max_active = pms_used_initial;
+
+    // --- Scan loop -------------------------------------------------------
+    let mut energy_wh = 0.0f64;
+    let mut migrations = 0usize;
+    let mut overload_events = 0usize;
+    let mut slo_samples = 0usize;
+    let mut active_samples = 0usize;
+
+    for t in 0..scans {
+        // Per-PM aggregate demand, per-VM scan demand, SLO and energy
+        // accounting. Each VM's demand is evaluated against its host's
+        // core speed (the burst ceiling).
+        let mut pm_demand: HashMap<PmId, Mhz> = HashMap::new();
+        let mut scan_demand: HashMap<VmId, Mhz> = HashMap::new();
+        let mut scan_active = 0usize;
+        let mut scan_slo = 0usize;
+        let mut scan_energy_wh = 0.0f64;
+        let mut scan_util_sum = 0.0f64;
+        for pm_id in cluster.used_pms() {
+            let pm = cluster.pm(pm_id);
+            let core = pm.spec().core_mhz;
+            let mut demand = Mhz::ZERO;
+            for (id, _, _) in pm.vms() {
+                let (vcpus, vcpu_mhz, trace) = &vm_demand[&id];
+                let d = live_demand(*vcpus, *vcpu_mhz, core, trace, t, sim.burst_factor);
+                scan_demand.insert(id, d);
+                demand += d;
+            }
+            let cap = pm.spec().total_cpu();
+            let util = demand.fraction_of(cap);
+            scan_active += 1;
+            scan_util_sum += util.min(1.0);
+            if util >= sim.slo_threshold {
+                scan_slo += 1;
+            }
+            scan_energy_wh += PowerCurve::for_pm_type(&pm.spec().name)
+                .energy_wh(util, sim.scan_interval_s as f64);
+            pm_demand.insert(pm_id, demand);
+        }
+        active_samples += scan_active;
+        slo_samples += scan_slo;
+        energy_wh += scan_energy_wh;
+
+        // Overload detection: the set is fixed before migrations so an
+        // overloaded PM is never chosen as a destination this scan.
+        let overloaded: Vec<PmId> = cluster
+            .used_pms()
+            .filter(|pm_id| {
+                let cap = cluster.pm(*pm_id).spec().total_cpu();
+                pm_demand[pm_id].fraction_of(cap) > sim.overload_threshold
+            })
+            .collect();
+        if !overloaded.is_empty() {
+            overload_events += 1;
+        }
+        let overloaded_set: std::collections::HashSet<PmId> =
+            overloaded.iter().copied().collect();
+        let scan_overloaded = overloaded.len();
+        let migrations_before = migrations;
+
+        for src in overloaded {
+            loop {
+                let cap = cluster.pm(src).spec().total_cpu();
+                let current = pm_demand[&src];
+                if current.fraction_of(cap) <= sim.overload_threshold
+                    || cluster.pm(src).is_empty()
+                {
+                    break;
+                }
+                let Some(victim) = evictor.select(cluster.pm(src), &|id| {
+                    scan_demand.get(&id).copied().unwrap_or(Mhz::ZERO)
+                }) else {
+                    break;
+                };
+                let victim_demand = scan_demand.get(&victim).copied().unwrap_or(Mhz::ZERO);
+                let (_, spec, old_assignment) =
+                    cluster.remove(victim).expect("victim is resident");
+
+                // Destination must not be the source, must not already be
+                // overloaded, and must not *become* overloaded by this VM.
+                let exclude = |pm: PmId| -> bool {
+                    if pm == src || overloaded_set.contains(&pm) {
+                        return true;
+                    }
+                    let cap = cluster.pm(pm).spec().total_cpu();
+                    let d = pm_demand.get(&pm).copied().unwrap_or(Mhz::ZERO);
+                    (d + victim_demand).fraction_of(cap) > sim.overload_threshold
+                };
+                match placer.choose(&cluster, &spec, &exclude) {
+                    Some(d) => {
+                        cluster
+                            .place_as(victim, d.pm, spec, d.assignment)
+                            .expect("algorithm decisions are validated placements");
+                        migrations += 1;
+                        *pm_demand.entry(d.pm).or_insert(Mhz::ZERO) += victim_demand;
+                        *pm_demand.get_mut(&src).expect("source tracked") =
+                            current.saturating_sub(victim_demand);
+                    }
+                    None => {
+                        // Nowhere to go: restore and stop evicting here.
+                        cluster
+                            .place_as(victim, src, spec, old_assignment)
+                            .expect("restoring a just-removed VM cannot fail");
+                        break;
+                    }
+                }
+            }
+        }
+        max_active = max_active.max(cluster.active_pm_count());
+        if let Some(ts) = recorder.as_deref_mut() {
+            ts.push(crate::ScanSample {
+                scan: t,
+                active_pms: scan_active,
+                mean_utilization: if scan_active == 0 {
+                    0.0
+                } else {
+                    scan_util_sum / scan_active as f64
+                },
+                overloaded_pms: scan_overloaded,
+                migrations: migrations - migrations_before,
+                slo_violations: scan_slo,
+                energy_wh: scan_energy_wh,
+            });
+        }
+    }
+
+    SimOutcome {
+        pms_used: cluster.ever_used_count(),
+        pms_used_initial,
+        pms_used_max_active: max_active,
+        energy_kwh: energy_wh / 1000.0,
+        migrations,
+        slo_violation_pct: if active_samples == 0 {
+            0.0
+        } else {
+            100.0 * slo_samples as f64 / active_samples as f64
+        },
+        overload_events,
+        rejected_vms: rejected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkloadConfig;
+    use crate::workload::build_cluster;
+    use prvm_baselines::{FirstFit, MinimumMigrationTime};
+    use prvm_model::catalog;
+    use prvm_traces::{TraceKind, TraceLibrary};
+
+    fn small_cfg() -> (SimConfig, WorkloadConfig) {
+        (
+            SimConfig::default(),
+            WorkloadConfig {
+                n_vms: 40,
+                trace_kind: TraceKind::PlanetLab,
+                m3_pms: 40,
+                c3_pms: 20,
+            },
+        )
+    }
+
+    fn run(seed: u64) -> SimOutcome {
+        let (sim, wl) = small_cfg();
+        let workload = Workload::generate(&wl, sim.scans(), seed);
+        let cluster = build_cluster(&wl);
+        simulate(
+            &sim,
+            cluster,
+            &workload,
+            &mut FirstFit::new(),
+            &mut MinimumMigrationTime::new(),
+        )
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn no_rejections_with_generous_pool() {
+        let o = run(2);
+        assert_eq!(o.rejected_vms, 0);
+        assert!(o.pms_used >= o.pms_used_initial);
+        assert!(o.pms_used_initial > 0);
+    }
+
+    #[test]
+    fn energy_is_positive_and_bounded() {
+        let o = run(3);
+        assert!(o.energy_kwh > 0.0);
+        // Upper bound: every pool PM at max power for 24 h.
+        let bound = 60.0 * 488.3 * 24.0 / 1000.0;
+        assert!(o.energy_kwh < bound, "{}", o.energy_kwh);
+    }
+
+    #[test]
+    fn slo_percentage_is_a_percentage() {
+        let o = run(4);
+        assert!((0.0..=100.0).contains(&o.slo_violation_pct));
+    }
+
+    /// A crafted hot scenario: four `[1,1,1,1]` jobs packed by FirstFit on
+    /// one GENI node, all running at 100 % utilization.
+    fn hot_geni_outcome(pms: usize) -> SimOutcome {
+        let sim = SimConfig {
+            horizon_s: 600,
+            burst_factor: 1.0,
+            ..SimConfig::default()
+        };
+        let hot = Trace::constant(1.0, sim.scans());
+        let workload = Workload::from_parts(
+            vec![catalog::geni_vm_4(); 4],
+            TraceLibrary::from_traces(TraceKind::GoogleCluster, vec![hot]),
+            0,
+        );
+        let cluster = Cluster::homogeneous(catalog::geni_pm(), pms);
+        simulate(
+            &sim,
+            cluster,
+            &workload,
+            &mut FirstFit::new(),
+            &mut MinimumMigrationTime::new(),
+        )
+    }
+
+    #[test]
+    fn overload_triggers_migration_when_capacity_exists() {
+        // FirstFit packs all four jobs on PM 0 (16/16 slots at 100 %
+        // demand): overloaded and SLO-violating. The spare PM receives a
+        // migration (one job moves: 12/16 = 75 % ≤ 90 % afterwards).
+        let o = hot_geni_outcome(2);
+        assert!(o.overload_events > 0);
+        assert!(o.slo_violation_pct > 0.0);
+        assert!(o.migrations >= 1, "migrations = {}", o.migrations);
+        assert_eq!(o.pms_used, 2);
+    }
+
+    #[test]
+    fn overload_without_spare_capacity_cannot_migrate() {
+        let o = hot_geni_outcome(1);
+        assert!(o.overload_events > 0);
+        assert_eq!(o.migrations, 0, "nowhere to migrate");
+        assert_eq!(o.pms_used, 1);
+    }
+
+    #[test]
+    fn burst_factor_drives_overloads() {
+        // Identical runs except for the burst factor: bursty vCPUs must
+        // produce at least as many overload events.
+        let (mut sim, wl) = small_cfg();
+        let workload = Workload::generate(&wl, sim.scans(), 7);
+        sim.burst_factor = 1.0;
+        let calm = simulate(
+            &sim,
+            build_cluster(&wl),
+            &workload,
+            &mut FirstFit::new(),
+            &mut MinimumMigrationTime::new(),
+        );
+        sim.burst_factor = 4.0;
+        let bursty = simulate(
+            &sim,
+            build_cluster(&wl),
+            &workload,
+            &mut FirstFit::new(),
+            &mut MinimumMigrationTime::new(),
+        );
+        assert!(bursty.overload_events >= calm.overload_events);
+        assert!(bursty.energy_kwh >= calm.energy_kwh);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_accounts_consistently() {
+        let (sim, wl) = small_cfg();
+        let workload = Workload::generate(&wl, sim.scans(), 8);
+        let plain = simulate(
+            &sim,
+            build_cluster(&wl),
+            &workload,
+            &mut FirstFit::new(),
+            &mut MinimumMigrationTime::new(),
+        );
+        let (traced, ts) = simulate_traced(
+            &sim,
+            build_cluster(&wl),
+            &workload,
+            &mut FirstFit::new(),
+            &mut MinimumMigrationTime::new(),
+        );
+        assert_eq!(plain, traced, "recording must not change the run");
+        assert_eq!(ts.len(), sim.scans());
+        assert_eq!(ts.total_migrations(), traced.migrations);
+        let slo: usize = ts.samples().iter().map(|s| s.slo_violations).sum();
+        let active: usize = ts.samples().iter().map(|s| s.active_pms).sum();
+        let pct = 100.0 * slo as f64 / active as f64;
+        assert!((pct - traced.slo_violation_pct).abs() < 1e-9);
+        let energy: f64 = ts.samples().iter().map(|s| s.energy_wh).sum();
+        assert!((energy / 1000.0 - traced.energy_kwh).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejections_counted_when_pool_too_small() {
+        let sim = SimConfig {
+            horizon_s: 300,
+            ..SimConfig::default()
+        };
+        let wl = WorkloadConfig {
+            n_vms: 200,
+            trace_kind: TraceKind::PlanetLab,
+            m3_pms: 1,
+            c3_pms: 0,
+        };
+        let workload = Workload::generate(&wl, sim.scans(), 9);
+        let o = simulate(
+            &sim,
+            build_cluster(&wl),
+            &workload,
+            &mut FirstFit::new(),
+            &mut MinimumMigrationTime::new(),
+        );
+        assert!(o.rejected_vms > 0);
+        assert_eq!(o.pms_used, 1);
+    }
+}

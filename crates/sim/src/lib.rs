@@ -1,0 +1,40 @@
+//! CloudSim-equivalent datacenter simulator for the PageRankVM
+//! reproduction (§VI-A "Simulation").
+//!
+//! The simulator reproduces exactly the loop the paper's evaluation
+//! depends on: place N VMs with a [`prvm_model::PlacementAlgorithm`], then
+//! every 300 s over 24 h compute each PM's trace-driven CPU demand, flag
+//! PMs above the 90 % overload threshold, migrate VMs off them (eviction
+//! policy + the same placement algorithm for destinations), and account
+//! the paper's four metrics: PMs used, energy (Table III), migrations and
+//! SLO violations.
+//!
+//! ```
+//! use prvm_sim::{simulate, SimConfig, Workload, WorkloadConfig, build_cluster};
+//! use prvm_baselines::{FirstFit, MinimumMigrationTime};
+//! use prvm_traces::TraceKind;
+//!
+//! let sim = SimConfig { horizon_s: 3600, ..SimConfig::default() };
+//! let wl = WorkloadConfig { n_vms: 20, trace_kind: TraceKind::PlanetLab,
+//!                           m3_pms: 20, c3_pms: 10 };
+//! let workload = Workload::generate(&wl, sim.scans(), 42);
+//! let outcome = simulate(&sim, build_cluster(&wl), &workload,
+//!                        &mut FirstFit::new(), &mut MinimumMigrationTime::new());
+//! assert_eq!(outcome.rejected_vms, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod energy;
+pub mod engine;
+pub mod runner;
+pub mod timeseries;
+pub mod workload;
+
+pub use config::{SimConfig, WorkloadConfig};
+pub use energy::PowerCurve;
+pub use engine::{simulate, simulate_traced, SimOutcome};
+pub use timeseries::{ScanSample, TimeSeries};
+pub use runner::{ec2_score_book, run_repeats, sweep, Algorithm, MetricSummary};
+pub use workload::{build_cluster, Workload};

@@ -1,0 +1,97 @@
+//! Property-based tests over the simulation engine's accounting
+//! invariants.
+
+use proptest::prelude::*;
+use prvm_baselines::{FirstFit, MinimumMigrationTime};
+use prvm_sim::{build_cluster, simulate, simulate_traced, SimConfig, Workload, WorkloadConfig};
+use prvm_traces::TraceKind;
+
+fn outcome_for(n_vms: usize, seed: u64, hours: u64, burst: f64) -> prvm_sim::SimOutcome {
+    let sim = SimConfig {
+        horizon_s: hours * 3600,
+        burst_factor: burst,
+        ..SimConfig::default()
+    };
+    let wl = WorkloadConfig {
+        n_vms,
+        trace_kind: TraceKind::PlanetLab,
+        m3_pms: n_vms.max(4),
+        c3_pms: (n_vms / 2).max(2),
+    };
+    let workload = Workload::generate(&wl, sim.scans().max(1), seed);
+    simulate(
+        &sim,
+        build_cluster(&wl),
+        &workload,
+        &mut FirstFit::new(),
+        &mut MinimumMigrationTime::new(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Core accounting invariants hold for any small workload.
+    #[test]
+    fn outcome_invariants(
+        n_vms in 1usize..40,
+        seed in 0u64..1000,
+        hours in 1u64..4,
+        burst in 1.0f64..8.0,
+    ) {
+        let o = outcome_for(n_vms, seed, hours, burst);
+        prop_assert_eq!(o.rejected_vms, 0, "pool is sized generously");
+        prop_assert!(o.pms_used_initial >= 1);
+        prop_assert!(o.pms_used >= o.pms_used_initial);
+        prop_assert!(o.pms_used_max_active >= o.pms_used_initial);
+        prop_assert!(o.pms_used_max_active <= o.pms_used);
+        prop_assert!(o.energy_kwh > 0.0);
+        prop_assert!((0.0..=100.0).contains(&o.slo_violation_pct));
+        prop_assert!(o.overload_events <= (hours * 12) as usize);
+    }
+
+    /// Runs are reproducible and the traced variant never changes the
+    /// outcome.
+    #[test]
+    fn traced_equals_untraced(n_vms in 1usize..30, seed in 0u64..500) {
+        let sim = SimConfig {
+            horizon_s: 3600,
+            ..SimConfig::default()
+        };
+        let wl = WorkloadConfig {
+            n_vms,
+            trace_kind: TraceKind::GoogleCluster,
+            m3_pms: n_vms.max(4),
+            c3_pms: 2,
+        };
+        let workload = Workload::generate(&wl, sim.scans(), seed);
+        let a = simulate(
+            &sim,
+            build_cluster(&wl),
+            &workload,
+            &mut FirstFit::new(),
+            &mut MinimumMigrationTime::new(),
+        );
+        let (b, ts) = simulate_traced(
+            &sim,
+            build_cluster(&wl),
+            &workload,
+            &mut FirstFit::new(),
+            &mut MinimumMigrationTime::new(),
+        );
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(ts.len(), sim.scans());
+        prop_assert_eq!(ts.total_migrations(), b.migrations);
+    }
+
+    /// Zero burst means zero demand: no overloads, no SLO violations, and
+    /// idle-power-only energy.
+    #[test]
+    fn zero_demand_is_calm(n_vms in 1usize..25, seed in 0u64..200) {
+        let o = outcome_for(n_vms, seed, 1, 0.0);
+        prop_assert_eq!(o.migrations, 0);
+        prop_assert_eq!(o.overload_events, 0);
+        prop_assert_eq!(o.slo_violation_pct, 0.0);
+        prop_assert_eq!(o.pms_used, o.pms_used_initial);
+    }
+}

@@ -1,0 +1,282 @@
+//! The centralized controller (the paper's extra GENI instance "responsible
+//! for running the VM placement algorithms to assign the jobs").
+//!
+//! The controller keeps a mirror [`Cluster`] for placement decisions,
+//! drives virtual time in 10-second ticks, collects per-node status over
+//! channels, and performs kill-and-restart migrations off overloaded nodes.
+
+use crate::messages::{JobHandle, ToController, ToNode};
+use crate::node::NodeAgent;
+use crate::{TestbedConfig, TestbedOutcome};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use prvm_model::{catalog, Cluster, EvictionPolicy, Mhz, PlacementAlgorithm, PmId, VmId};
+use prvm_traces::{generate, TraceKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Run the full testbed experiment: `n_jobs` jobs placed and supervised by
+/// `placer`/`evictor` for the configured duration.
+///
+/// Spawns one agent thread per node; fully deterministic under `seed`
+/// (ticks are lockstep).
+///
+/// # Panics
+///
+/// Panics if a node agent disconnects mid-experiment (a bug, not an
+/// expected runtime condition).
+#[must_use]
+pub fn run_testbed(
+    cfg: &TestbedConfig,
+    n_jobs: usize,
+    placer: &mut dyn PlacementAlgorithm,
+    evictor: &mut dyn EvictionPolicy,
+    seed: u64,
+) -> TestbedOutcome {
+    let scans = cfg.scans();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // --- Spawn node agents ----------------------------------------------
+    let (to_controller, from_nodes): (Sender<ToController>, Receiver<ToController>) = unbounded();
+    let mut to_nodes: Vec<Sender<ToNode>> = Vec::with_capacity(cfg.nodes);
+    let mut handles = Vec::with_capacity(cfg.nodes);
+    for node in 0..cfg.nodes {
+        let (tx, rx) = unbounded();
+        to_nodes.push(tx);
+        let agent = NodeAgent::new(node, cfg.slots_per_core, rx, to_controller.clone());
+        handles.push(std::thread::spawn(move || agent.run()));
+    }
+
+    // --- Generate and place the jobs --------------------------------------
+    let mut mirror = Cluster::homogeneous(cfg.pm_spec(), cfg.nodes);
+    let mut rejected = 0usize;
+    let mut resident = 0usize;
+    let mut specs: Vec<_> = (0..n_jobs)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                catalog::geni_vm_2()
+            } else {
+                catalog::geni_vm_4()
+            }
+        })
+        .collect();
+    placer.order_batch(&mut specs);
+    for spec in specs {
+        let trace =
+            generate(TraceKind::GoogleCluster, scans.max(1), &mut rng).scaled(cfg.utilization_scale);
+        match placer.choose(&mirror, &spec, &|_| false) {
+            Some(d) => {
+                let id = mirror
+                    .place(d.pm, spec.clone(), d.assignment.clone())
+                    .expect("algorithm decisions are validated placements");
+                to_nodes[d.pm.0]
+                    .send(ToNode::Start(JobHandle {
+                        id,
+                        spec,
+                        assignment: d.assignment,
+                        trace,
+                    }))
+                    .expect("agent alive");
+                resident += 1;
+            }
+            None => rejected += 1,
+        }
+    }
+    let _ = resident;
+    let pms_used_initial = mirror.active_pm_count();
+
+    // --- Scan loop ---------------------------------------------------------
+    let node_cap = Mhz(cfg.slots_per_core * u64::from(cfg.cores_per_node));
+    let mut migrations = 0usize;
+    let mut overload_events = 0usize;
+    let mut slo_samples = 0usize;
+    let mut active_samples = 0usize;
+
+    for t in 0..scans {
+        for tx in &to_nodes {
+            tx.send(ToNode::Tick { t }).expect("agent alive");
+        }
+        // Collect exactly one status per node (lockstep).
+        let mut job_demand: HashMap<VmId, u64> = HashMap::new();
+        let mut node_demand: Vec<u64> = vec![0; cfg.nodes];
+        for _ in 0..cfg.nodes {
+            match from_nodes.recv().expect("agent alive") {
+                ToController::Status {
+                    node,
+                    t: rt,
+                    job_demands,
+                } => {
+                    debug_assert_eq!(rt, t, "lockstep tick");
+                    for (id, d) in job_demands {
+                        node_demand[node] += d;
+                        job_demand.insert(id, d);
+                    }
+                }
+                ToController::Killed { .. } => unreachable!("no kill in flight during tick"),
+            }
+        }
+
+        // SLO + overload accounting over *active* nodes.
+        let mut overloaded: Vec<usize> = Vec::new();
+        #[allow(clippy::needless_range_loop)] // node is both PmId and index
+        for node in 0..cfg.nodes {
+            if mirror.pm(PmId(node)).is_empty() {
+                continue;
+            }
+            active_samples += 1;
+            let util = node_demand[node] as f64 / node_cap.get() as f64;
+            if util >= cfg.slo_threshold {
+                slo_samples += 1;
+            }
+            if util > cfg.overload_threshold {
+                overloaded.push(node);
+            }
+        }
+        if !overloaded.is_empty() {
+            overload_events += 1;
+        }
+        let overloaded_set: std::collections::HashSet<usize> =
+            overloaded.iter().copied().collect();
+
+        // Kill-and-restart migrations.
+        for src in overloaded {
+            loop {
+                let util = node_demand[src] as f64 / node_cap.get() as f64;
+                if util <= cfg.overload_threshold || mirror.pm(PmId(src)).is_empty() {
+                    break;
+                }
+                let Some(victim) = evictor.select(mirror.pm(PmId(src)), &|id| {
+                    Mhz(job_demand.get(&id).copied().unwrap_or(0))
+                }) else {
+                    break;
+                };
+                let victim_demand = job_demand.get(&victim).copied().unwrap_or(0);
+                // Choose the destination BEFORE killing so an unplaceable
+                // job is never interrupted.
+                let (_, spec, _) = mirror.remove(victim).expect("victim resident");
+                let exclude = |pm: PmId| -> bool {
+                    pm.0 == src
+                        || overloaded_set.contains(&pm.0)
+                        || (node_demand[pm.0] + victim_demand) as f64 / node_cap.get() as f64
+                            > cfg.overload_threshold
+                };
+                let Some(d) = placer.choose(&mirror, &spec, &exclude) else {
+                    // Nowhere to go: put it back and stop evicting here.
+                    let a = mirror
+                        .pm(PmId(src))
+                        .first_feasible(&spec)
+                        .expect("job came from this node");
+                    mirror
+                        .place_as(victim, PmId(src), spec, a)
+                        .expect("restore placement");
+                    break;
+                };
+                // Kill on the source, restart on the destination.
+                to_nodes[src].send(ToNode::Kill(victim)).expect("agent alive");
+                let job = match from_nodes.recv().expect("agent alive") {
+                    ToController::Killed { job, .. } => job,
+                    ToController::Status { .. } => unreachable!("no tick in flight during kill"),
+                };
+                mirror
+                    .place_as(victim, d.pm, spec, d.assignment.clone())
+                    .expect("algorithm decisions are validated placements");
+                to_nodes[d.pm.0]
+                    .send(ToNode::Start(JobHandle {
+                        assignment: d.assignment,
+                        ..job
+                    }))
+                    .expect("agent alive");
+                migrations += 1;
+                node_demand[d.pm.0] += victim_demand;
+                node_demand[src] = node_demand[src].saturating_sub(victim_demand);
+            }
+        }
+    }
+
+    // --- Shutdown -----------------------------------------------------------
+    for tx in &to_nodes {
+        let _ = tx.send(ToNode::Shutdown);
+    }
+    for h in handles {
+        h.join().expect("agent thread exits cleanly");
+    }
+
+    TestbedOutcome {
+        pms_used_initial,
+        pms_used: mirror.ever_used_count(),
+        migrations,
+        slo_violation_pct: if active_samples == 0 {
+            0.0
+        } else {
+            100.0 * slo_samples as f64 / active_samples as f64
+        },
+        overload_events,
+        rejected_jobs: rejected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prvm_baselines::{FirstFit, MinimumMigrationTime};
+
+    fn quick_cfg() -> TestbedConfig {
+        TestbedConfig {
+            duration_s: 300, // 30 ticks
+            ..TestbedConfig::default()
+        }
+    }
+
+    fn run_ff(cfg: &TestbedConfig, n_jobs: usize, seed: u64) -> TestbedOutcome {
+        run_testbed(
+            cfg,
+            n_jobs,
+            &mut FirstFit::new(),
+            &mut MinimumMigrationTime::new(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn testbed_is_deterministic() {
+        let cfg = quick_cfg();
+        assert_eq!(run_ff(&cfg, 50, 3), run_ff(&cfg, 50, 3));
+    }
+
+    #[test]
+    fn jobs_fit_and_nodes_are_used() {
+        let cfg = quick_cfg();
+        let o = run_ff(&cfg, 100, 1);
+        assert_eq!(o.rejected_jobs, 0);
+        assert!(o.pms_used >= 1 && o.pms_used <= cfg.nodes);
+    }
+
+    #[test]
+    fn more_jobs_use_at_least_as_many_nodes() {
+        let cfg = quick_cfg();
+        let small = run_ff(&cfg, 50, 7);
+        let large = run_ff(&cfg, 250, 7);
+        assert!(large.pms_used >= small.pms_used);
+    }
+
+    #[test]
+    fn hot_workload_triggers_kill_restart_migrations() {
+        // Unscaled traces + low overload threshold: FirstFit's packing
+        // must overload and migrate.
+        let cfg = TestbedConfig {
+            duration_s: 600,
+            utilization_scale: 1.0,
+            overload_threshold: 0.25,
+            ..TestbedConfig::default()
+        };
+        let o = run_ff(&cfg, 120, 11);
+        assert!(o.overload_events > 0, "{o:?}");
+        assert!(o.migrations > 0, "{o:?}");
+    }
+
+    #[test]
+    fn slo_percentage_is_bounded() {
+        let o = run_ff(&quick_cfg(), 150, 5);
+        assert!((0.0..=100.0).contains(&o.slo_violation_pct));
+    }
+}

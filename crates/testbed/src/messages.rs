@@ -1,0 +1,56 @@
+//! The control-plane protocol between the centralized controller and the
+//! node agents (the paper's GENI switch topology, §VI-A).
+
+use prvm_model::{Assignment, VmId, VmSpec};
+use prvm_traces::Trace;
+
+/// A job (the testbed's stand-in for a VM) as shipped to a node agent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobHandle {
+    /// Cluster-wide identity.
+    pub id: VmId,
+    /// CPU-only resource request (`[1,1]` or `[1,1,1,1]`).
+    pub spec: VmSpec,
+    /// Which physical cores the job's vCPUs pin to (anti-collocation).
+    pub assignment: Assignment,
+    /// Utilization trace driving the job's CPU demand.
+    pub trace: Trace,
+}
+
+/// Controller → node messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToNode {
+    /// Start (or resume after migration) a job on this node.
+    Start(JobHandle),
+    /// Kill a job; the node replies with [`ToController::Killed`].
+    Kill(VmId),
+    /// Advance virtual time and report status.
+    Tick {
+        /// Scan index (10-second granularity).
+        t: usize,
+    },
+    /// Terminate the agent thread.
+    Shutdown,
+}
+
+/// Node → controller messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToController {
+    /// Periodic status: the node's per-job CPU demand in slot units at the
+    /// ticked scan.
+    Status {
+        /// Reporting node.
+        node: usize,
+        /// Scan index this status answers.
+        t: usize,
+        /// `(job, demand)` pairs, demand in core slot units.
+        job_demands: Vec<(VmId, u64)>,
+    },
+    /// A job was killed and is handed back for re-placement.
+    Killed {
+        /// Node that killed the job.
+        node: usize,
+        /// The job, ready to restart elsewhere.
+        job: JobHandle,
+    },
+}

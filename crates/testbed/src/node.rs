@@ -1,0 +1,153 @@
+//! Node agents: one thread per emulated GENI instance.
+//!
+//! An agent owns its resident jobs, samples their utilization traces each
+//! tick and reports per-job CPU demand to the controller. Kill/start
+//! messages emulate the paper's "kill the VMs (jobs) and continue them on
+//! the destination PMs" migration.
+
+use crate::messages::{JobHandle, ToController, ToNode};
+use crossbeam::channel::{Receiver, Sender};
+use prvm_model::VmId;
+
+/// Per-node state and message loop.
+pub struct NodeAgent {
+    node: usize,
+    /// A vCPU may burst to this many slot units (one full core).
+    slots_per_core: u64,
+    jobs: Vec<JobHandle>,
+    rx: Receiver<ToNode>,
+    tx: Sender<ToController>,
+}
+
+impl NodeAgent {
+    /// Create an agent for node `node`.
+    #[must_use]
+    pub fn new(
+        node: usize,
+        slots_per_core: u64,
+        rx: Receiver<ToNode>,
+        tx: Sender<ToController>,
+    ) -> Self {
+        Self {
+            node,
+            slots_per_core,
+            jobs: Vec::new(),
+            rx,
+            tx,
+        }
+    }
+
+    /// CPU demand of one job at scan `t`, in slot units: each vCPU bursts
+    /// up to a full core, scaled by its utilization trace.
+    fn job_demand(&self, job: &JobHandle, t: usize) -> u64 {
+        let per_vcpu = job.trace.at(t) * self.slots_per_core as f64;
+        (per_vcpu * f64::from(job.spec.vcpus)).round() as u64
+    }
+
+    /// Run the message loop until [`ToNode::Shutdown`] (or the controller
+    /// hangs up).
+    pub fn run(mut self) {
+        while let Ok(msg) = self.rx.recv() {
+            match msg {
+                ToNode::Start(job) => self.jobs.push(job),
+                ToNode::Kill(id) => {
+                    if let Some(pos) = self.jobs.iter().position(|j| j.id == id) {
+                        let job = self.jobs.swap_remove(pos);
+                        let _ = self.tx.send(ToController::Killed {
+                            node: self.node,
+                            job,
+                        });
+                    }
+                }
+                ToNode::Tick { t } => {
+                    let job_demands: Vec<(VmId, u64)> = self
+                        .jobs
+                        .iter()
+                        .map(|j| (j.id, self.job_demand(j, t)))
+                        .collect();
+                    let _ = self.tx.send(ToController::Status {
+                        node: self.node,
+                        t,
+                        job_demands,
+                    });
+                }
+                ToNode::Shutdown => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use prvm_model::{catalog, Assignment};
+    use prvm_traces::Trace;
+
+    fn job(id: u64, util: f64) -> JobHandle {
+        JobHandle {
+            id: VmId(id),
+            spec: catalog::geni_vm_2(),
+            assignment: Assignment::new(vec![0, 1], vec![]),
+            trace: Trace::constant(util, 4),
+        }
+    }
+
+    #[test]
+    fn agent_reports_demands_and_kills() {
+        let (to_node, node_rx) = unbounded();
+        let (node_tx, from_node) = unbounded();
+        let agent = NodeAgent::new(3, 32, node_rx, node_tx);
+        let handle = std::thread::spawn(move || agent.run());
+
+        to_node.send(ToNode::Start(job(1, 0.5))).unwrap();
+        to_node.send(ToNode::Start(job(2, 0.25))).unwrap();
+        to_node.send(ToNode::Tick { t: 0 }).unwrap();
+        match from_node.recv().unwrap() {
+            ToController::Status {
+                node,
+                t,
+                job_demands,
+            } => {
+                assert_eq!((node, t), (3, 0));
+                // 2 vCPUs x 0.5 x 32 = 32; 2 x 0.25 x 32 = 16.
+                assert_eq!(job_demands, vec![(VmId(1), 32), (VmId(2), 16)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        to_node.send(ToNode::Kill(VmId(1))).unwrap();
+        match from_node.recv().unwrap() {
+            ToController::Killed { node, job } => {
+                assert_eq!(node, 3);
+                assert_eq!(job.id, VmId(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Killing an unknown job is ignored, then the next tick only
+        // reports the survivor.
+        to_node.send(ToNode::Kill(VmId(9))).unwrap();
+        to_node.send(ToNode::Tick { t: 1 }).unwrap();
+        match from_node.recv().unwrap() {
+            ToController::Status { job_demands, .. } => {
+                assert_eq!(job_demands.len(), 1);
+                assert_eq!(job_demands[0].0, VmId(2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        to_node.send(ToNode::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn agent_exits_when_controller_hangs_up() {
+        let (to_node, node_rx) = unbounded::<ToNode>();
+        let (node_tx, _from_node) = unbounded();
+        let agent = NodeAgent::new(0, 32, node_rx, node_tx);
+        let handle = std::thread::spawn(move || agent.run());
+        drop(to_node);
+        handle.join().unwrap();
+    }
+}

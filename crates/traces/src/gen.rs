@@ -1,0 +1,177 @@
+//! Trace generators. See the crate docs for how each family maps to its
+//! real-world archive.
+
+use crate::Trace;
+use rand::Rng;
+use rand_distr::{Distribution, Gamma, LogNormal};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+/// Which workload family to synthesise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// PlanetLab node CPU utilization (CloudSim archive): 5-minute samples,
+    /// mean ≈ 10–25 %, pronounced diurnal swing, correlated noise.
+    PlanetLab,
+    /// Google cluster task usage (2011 trace): lower baseline, heavy-tailed
+    /// spikes, weaker daily rhythm.
+    GoogleCluster,
+}
+
+impl TraceKind {
+    /// Human-readable label used in experiment output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::PlanetLab => "PlanetLab",
+            Self::GoogleCluster => "GoogleCluster",
+        }
+    }
+}
+
+/// Generate one trace of `samples` samples.
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+#[must_use]
+pub fn generate<R: Rng + ?Sized>(kind: TraceKind, samples: usize, rng: &mut R) -> Trace {
+    assert!(samples > 0, "trace needs at least one sample");
+    match kind {
+        TraceKind::PlanetLab => planetlab(samples, rng),
+        TraceKind::GoogleCluster => google(samples, rng),
+    }
+}
+
+/// PlanetLab-like: baseline + diurnal sinusoid + AR(1) noise + rare bursts.
+fn planetlab<R: Rng + ?Sized>(samples: usize, rng: &mut R) -> Trace {
+    // Per-node character drawn once.
+    let baseline = Gamma::new(2.0, 0.05).expect("valid gamma").sample(rng); // mean 0.10
+    let diurnal_amp = rng.gen_range(0.02..0.15);
+    let phase = rng.gen_range(0.0..TAU);
+    let noise_sd = rng.gen_range(0.01..0.05);
+    let burst_p = rng.gen_range(0.005..0.03);
+    let burst = LogNormal::new(-1.2, 0.5).expect("valid lognormal");
+
+    let mut ar = 0.0f64;
+    let mut out = Vec::with_capacity(samples);
+    for i in 0..samples {
+        // One simulated day spans 288 five-minute samples.
+        let day_pos = i as f64 / 288.0 * TAU;
+        let diurnal = diurnal_amp * (day_pos + phase).sin().max(-0.5);
+        ar = 0.8 * ar + noise_sd * rng.sample::<f64, _>(rand_distr::StandardNormal);
+        let mut u = baseline + diurnal + ar;
+        if rng.gen_bool(burst_p) {
+            u += burst.sample(rng);
+        }
+        out.push(u);
+    }
+    Trace::new(out)
+}
+
+/// Google-cluster-like: low plateau with heavy-tailed spikes and shifts.
+fn google<R: Rng + ?Sized>(samples: usize, rng: &mut R) -> Trace {
+    let baseline = Gamma::new(1.5, 0.03).expect("valid gamma").sample(rng); // mean 0.045
+    let spike_p = rng.gen_range(0.01..0.05);
+    let spike = LogNormal::new(-0.9, 0.8).expect("valid lognormal");
+    let noise_sd = rng.gen_range(0.005..0.03);
+    // Occasional regime shifts: the task gets busier or quieter for a while.
+    let mut regime = 0.0f64;
+    let mut regime_left = 0usize;
+
+    let mut ar = 0.0f64;
+    let mut out = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        if regime_left == 0 && rng.gen_bool(0.006) {
+            regime = rng.gen_range(0.0..0.15);
+            regime_left = rng.gen_range(6..48);
+        }
+        if regime_left > 0 {
+            regime_left -= 1;
+            if regime_left == 0 {
+                regime = 0.0;
+            }
+        }
+        ar = 0.6 * ar + noise_sd * rng.sample::<f64, _>(rand_distr::StandardNormal);
+        let mut u = baseline + regime + ar;
+        if rng.gen_bool(spike_p) {
+            u += spike.sample(rng);
+        }
+        out.push(u);
+    }
+    Trace::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_of_library(kind: TraceKind, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let traces: Vec<Trace> = (0..200).map(|_| generate(kind, 288, &mut rng)).collect();
+        traces.iter().map(Trace::mean).sum::<f64>() / traces.len() as f64
+    }
+
+    #[test]
+    fn planetlab_mean_utilization_matches_archive_shape() {
+        // Published PlanetLab/CloudSim workload means sit roughly in
+        // 10–25 %; accept a generous band around it.
+        let m = mean_of_library(TraceKind::PlanetLab, 7);
+        assert!((0.06..=0.30).contains(&m), "mean = {m}");
+    }
+
+    #[test]
+    fn google_is_lower_mean_and_spikier_than_planetlab() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pl: Vec<Trace> = (0..200)
+            .map(|_| generate(TraceKind::PlanetLab, 288, &mut rng))
+            .collect();
+        let gg: Vec<Trace> = (0..200)
+            .map(|_| generate(TraceKind::GoogleCluster, 288, &mut rng))
+            .collect();
+        let pl_mean = pl.iter().map(Trace::mean).sum::<f64>() / pl.len() as f64;
+        let gg_mean = gg.iter().map(Trace::mean).sum::<f64>() / gg.len() as f64;
+        assert!(gg_mean < pl_mean, "google {gg_mean} vs planetlab {pl_mean}");
+        // Spikiness: peak-to-mean ratio is higher for Google.
+        let p2m = |ts: &[Trace]| {
+            ts.iter().map(|t| t.max() / t.mean().max(1e-6)).sum::<f64>() / ts.len() as f64
+        };
+        assert!(p2m(&gg) > p2m(&pl));
+    }
+
+    #[test]
+    fn samples_stay_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for kind in [TraceKind::PlanetLab, TraceKind::GoogleCluster] {
+            let t = generate(kind, 1000, &mut rng);
+            assert!(t.samples().iter().all(|&s| (0.0..=1.0).contains(&s)));
+        }
+    }
+
+    #[test]
+    fn traces_are_temporally_correlated() {
+        // AR structure: lag-1 autocorrelation should be clearly positive.
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = generate(TraceKind::PlanetLab, 288, &mut rng);
+        let m = t.mean();
+        let s = t.samples();
+        let num: f64 = s.windows(2).map(|w| (w[0] - m) * (w[1] - m)).sum();
+        let den: f64 = s.iter().map(|v| (v - m).powi(2)).sum();
+        assert!(num / den > 0.2, "lag-1 autocorr = {}", num / den);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(TraceKind::PlanetLab.label(), "PlanetLab");
+        assert_eq!(TraceKind::GoogleCluster.label(), "GoogleCluster");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = generate(TraceKind::PlanetLab, 0, &mut rng);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests over trace generation and statistics.
+
+use proptest::prelude::*;
+use prvm_traces::stats::{Percentiles, TraceStats};
+use prvm_traces::{generate, Trace, TraceKind, TraceLibrary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Generated traces are always within [0, 1], of the requested length,
+    /// and deterministic under the RNG seed.
+    #[test]
+    fn generated_traces_are_bounded_and_deterministic(
+        seed in 0u64..1000,
+        samples in 1usize..600,
+        google in any::<bool>(),
+    ) {
+        let kind = if google { TraceKind::GoogleCluster } else { TraceKind::PlanetLab };
+        let a = generate(kind, samples, &mut StdRng::seed_from_u64(seed));
+        let b = generate(kind, samples, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), samples);
+        prop_assert!(a.samples().iter().all(|&s| (0.0..=1.0).contains(&s)));
+        prop_assert!(a.mean() <= a.max() + 1e-12);
+    }
+
+    /// Scaling clamps into [0, 1] and never increases length.
+    #[test]
+    fn scaling_preserves_bounds(
+        samples in prop::collection::vec(0.0f64..1.0, 1..100),
+        factor in 0.0f64..5.0,
+    ) {
+        let t = Trace::new(samples).scaled(factor);
+        prop_assert!(t.samples().iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    /// Indexing wraps modulo the trace length.
+    #[test]
+    fn indexing_wraps(
+        samples in prop::collection::vec(0.0f64..1.0, 1..50),
+        idx in 0usize..10_000,
+    ) {
+        let t = Trace::new(samples);
+        prop_assert_eq!(t.at(idx), t.at(idx % t.len()));
+    }
+
+    /// Library statistics are consistent with their members.
+    #[test]
+    fn library_stats_bound_members(seed in 0u64..200) {
+        let lib = TraceLibrary::generate(TraceKind::PlanetLab, 10, 64, seed);
+        let stats: TraceStats = lib.stats();
+        for i in 0..lib.len() {
+            prop_assert!(lib.trace(i).max() <= stats.max + 1e-12);
+        }
+        prop_assert!(stats.mean >= 0.0 && stats.mean <= 1.0);
+        prop_assert!(stats.peak_to_mean >= 1.0 - 1e-9);
+    }
+
+    /// Percentile summaries commute with affine shifts.
+    #[test]
+    fn percentiles_commute_with_shift(
+        values in prop::collection::vec(-100.0f64..100.0, 1..100),
+        shift in -50.0f64..50.0,
+    ) {
+        let p = Percentiles::of(&values);
+        let shifted: Vec<f64> = values.iter().map(|v| v + shift).collect();
+        let q = Percentiles::of(&shifted);
+        prop_assert!((q.median - (p.median + shift)).abs() < 1e-9);
+        prop_assert!((q.p1 - (p.p1 + shift)).abs() < 1e-9);
+        prop_assert!((q.p99 - (p.p99 + shift)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: build a Profile–PageRank score table for the EC2 catalog
+//! and place a batch of VMs with Algorithm 2.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pagerankvm::{GraphLimits, PageRankConfig, PageRankVmPlacer, ScoreBook};
+use prvm_model::{catalog, place_batch, Cluster, Quantizer};
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Preprocess: one profile graph + PageRank table per PM type.
+    //    This is the step the paper amortises ("the graph and table are
+    //    relatively stable during a certain period of time").
+    println!("building Profile-PageRank score tables for the EC2 catalog…");
+    let book = Arc::new(ScoreBook::build(
+        Quantizer::default(),
+        &catalog::ec2_pm_types(),
+        &catalog::ec2_vm_types(),
+        &PageRankConfig::default(),
+        GraphLimits::default(),
+    )?);
+    for pm in catalog::ec2_pm_types() {
+        let table = book.table(&pm).expect("table built for catalog PM");
+        println!(
+            "  {}: {} profiles, {} edges, converged in {} iterations",
+            pm.name,
+            table.graph().node_count(),
+            table.graph().edge_count(),
+            table.pagerank().iterations
+        );
+    }
+
+    // 2. Place a mixed batch of 60 VMs on a 40-PM datacenter.
+    let mut cluster = Cluster::from_specs(
+        (0..40).map(|i| if i % 3 == 2 { catalog::pm_c3() } else { catalog::pm_m3() }),
+    );
+    let types = catalog::ec2_vm_types();
+    let requests: Vec<_> = (0..60).map(|i| types[i % types.len()].clone()).collect();
+
+    let mut placer = PageRankVmPlacer::new(book);
+    let ids = place_batch(&mut placer, &mut cluster, requests)?;
+
+    println!("\nplaced {} VMs on {} PMs:", ids.len(), cluster.active_pm_count());
+    for pm_id in cluster.used_pms() {
+        let pm = cluster.pm(pm_id);
+        println!(
+            "  PM {:>2} ({}): {:>2} VMs, cpu {:>5.1}%, mem {:>5.1}%, disk {:>5.1}%",
+            pm_id.0,
+            pm.spec().name,
+            pm.vm_count(),
+            pm.cpu_utilization() * 100.0,
+            pm.mem_utilization() * 100.0,
+            pm.disk_utilization() * 100.0,
+        );
+    }
+
+    // 3. Anti-collocation in action: inspect where one VM's vCPUs landed.
+    let pm_id = cluster.locate(ids[2]).expect("vm placed");
+    let (spec, assignment) = cluster.pm(pm_id).vm(ids[2]).expect("resident");
+    println!(
+        "\nVM {:?} ({}) on PM {}: vCPUs on distinct cores {:?}, disks on distinct disks {:?}",
+        ids[2], spec.name, pm_id.0, assignment.cores, assignment.disks
+    );
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the PageRankVM reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the repository-level
+//! `examples/` and `tests/` can exercise the whole system. Downstream users
+//! should depend on the individual crates (`pagerankvm`, `prvm-sim`, …)
+//! instead.
+
+#![warn(missing_docs)]
+
+pub use pagerankvm;
+pub use prvm_baselines as baselines;
+pub use prvm_model as model;
+pub use prvm_sim as sim;
+pub use prvm_solver as solver;
+pub use prvm_testbed as testbed;
+pub use prvm_traces as traces;

@@ -88,7 +88,13 @@ mod tests {
         let mut hdf = HighestDemandFirst::new();
         // Give the big VM the higher live demand.
         let victim = hdf
-            .select(c.pm(PmId(0)), &|id| if id == big { Mhz(2000) } else { Mhz(100) })
+            .select(c.pm(PmId(0)), &|id| {
+                if id == big {
+                    Mhz(2000)
+                } else {
+                    Mhz(100)
+                }
+            })
             .unwrap();
         assert_eq!(victim, big);
     }

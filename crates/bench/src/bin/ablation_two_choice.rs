@@ -21,11 +21,17 @@ fn main() {
         "placer", "#VMs", "PMs used", "time/placement"
     );
     for &n in &args.vms {
-        let vms: Vec<_> = (0..n).map(|i| types[(i * 7) % types.len()].clone()).collect();
+        let vms: Vec<_> = (0..n)
+            .map(|i| types[(i * 7) % types.len()].clone())
+            .collect();
         let run = |name: &str, placer: &mut dyn PlacementAlgorithm| {
-            let mut cluster = Cluster::from_specs(
-                (0..n).map(|i| if i % 3 == 2 { catalog::pm_c3() } else { catalog::pm_m3() }),
-            );
+            let mut cluster = Cluster::from_specs((0..n).map(|i| {
+                if i % 3 == 2 {
+                    catalog::pm_c3()
+                } else {
+                    catalog::pm_m3()
+                }
+            }));
             let t0 = Instant::now();
             place_batch(placer, &mut cluster, vms.clone()).expect("pool sized");
             let per = t0.elapsed() / n as u32;
@@ -37,7 +43,10 @@ fn main() {
                 per
             );
         };
-        run("exhaustive (Alg. 2)", &mut PageRankVmPlacer::new(book.clone()));
+        run(
+            "exhaustive (Alg. 2)",
+            &mut PageRankVmPlacer::new(book.clone()),
+        );
         for poll in [2usize, 4, 8] {
             run(
                 &format!("{poll}-choice"),

@@ -39,14 +39,15 @@ fn main() {
         "{:<12} {:>12} {:>8} {:>10}",
         "profile", "score(x1000)", "util", "variance"
     );
-    for raw in [
-        [3u64, 3, 3, 3],
-        [4, 4, 2, 2],
-        [3, 3, 2, 2],
-        [4, 3, 3, 3],
-    ] {
+    for raw in [[3u64, 3, 3, 3], [4, 4, 2, 2], [3, 3, 2, 2], [4, 3, 3, 3]] {
         let (s, u, v) = report(&t, &raw);
-        println!("{:<12} {:>12.6} {:>7.0}% {:>10.5}", format!("{raw:?}"), s, u * 100.0, v);
+        println!(
+            "{:<12} {:>12.6} {:>7.0}% {:>10.5}",
+            format!("{raw:?}"),
+            s,
+            u * 100.0,
+            v
+        );
     }
 
     let (a, _, _) = report(&t, &[3, 3, 3, 3]);

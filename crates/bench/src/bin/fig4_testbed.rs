@@ -15,10 +15,8 @@ fn main() {
         &sweep.rows,
         |r| r.pms_used_initial,
     );
-    print_testbed_table(
-        "Fig. 4(b): number of VM migrations",
-        &sweep.rows,
-        |r| r.migrations,
-    );
+    print_testbed_table("Fig. 4(b): number of VM migrations", &sweep.rows, |r| {
+        r.migrations
+    });
     println!("\n(repeats = {})", sweep.repeats);
 }

@@ -38,33 +38,33 @@ fn main() {
             "#VMs", "optimum", "proven", "B&B nodes", "B&B time", "PageRank", "FF"
         );
         for n in [2usize, 4, 6, 8, 10, 12, 13, 14, 16] {
-        let vms: Vec<_> = (0..n).map(&pick).collect();
-        let pms = vec![catalog::pm_m3(); n];
+            let vms: Vec<_> = (0..n).map(&pick).collect();
+            let pms = vec![catalog::pm_m3(); n];
 
-        let t0 = Instant::now();
-        let exact = solve_min_pms(
-            &pms,
-            &vms,
-            &SolverConfig {
-                max_nodes: 2_000_000,
-                time_limit: Duration::from_secs(5),
-            },
-        )
-        .expect("feasible");
-        let elapsed = t0.elapsed();
+            let t0 = Instant::now();
+            let exact = solve_min_pms(
+                &pms,
+                &vms,
+                &SolverConfig {
+                    max_nodes: 2_000_000,
+                    time_limit: Duration::from_secs(5),
+                },
+            )
+            .expect("feasible");
+            let elapsed = t0.elapsed();
 
-        let heuristic = |mut algo: Box<dyn PlacementAlgorithm>| -> usize {
-            let mut cluster = Cluster::from_specs(pms.clone());
-            place_batch(algo.as_mut(), &mut cluster, vms.clone()).expect("fits");
-            cluster.active_pm_count()
-        };
-        let pr = heuristic(Box::new(PageRankVmPlacer::new(book.clone())));
-        let ff = heuristic(Box::new(FirstFit::new()));
+            let heuristic = |mut algo: Box<dyn PlacementAlgorithm>| -> usize {
+                let mut cluster = Cluster::from_specs(pms.clone());
+                place_batch(algo.as_mut(), &mut cluster, vms.clone()).expect("fits");
+                cluster.active_pm_count()
+            };
+            let pr = heuristic(Box::new(PageRankVmPlacer::new(book.clone())));
+            let ff = heuristic(Box::new(FirstFit::new()));
 
-        println!(
-            "{:>5} {:>9} {:>9} {:>10} {:>12.1?} {:>10} {:>8}",
-            n, exact.pm_count, exact.optimal, exact.nodes_explored, elapsed, pr, ff
-        );
+            println!(
+                "{:>5} {:>9} {:>9} {:>10} {:>12.1?} {:>10} {:>8}",
+                n, exact.pm_count, exact.optimal, exact.nodes_explored, elapsed, pr, ff
+            );
         }
     }
     println!(

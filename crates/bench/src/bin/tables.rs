@@ -45,7 +45,10 @@ fn main() {
         print!(" {:>7.0}%", u * 100.0);
     }
     println!();
-    for (name, curve) in [("E5-2670", PowerCurve::E5_2670), ("E5-2680", PowerCurve::E5_2680)] {
+    for (name, curve) in [
+        ("E5-2670", PowerCurve::E5_2670),
+        ("E5-2680", PowerCurve::E5_2680),
+    ] {
         print!("{name:<14}");
         for u in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
             print!(" {:>8.1}", curve.watts_at(u));

@@ -60,7 +60,8 @@ impl CliArgs {
         let usage = "usage: [--repeats N] [--seed N] [--vms a,b,c] [--jobs a,b,c] [--fresh]";
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> String {
-                it.next().unwrap_or_else(|| panic!("{name} needs a value; {usage}"))
+                it.next()
+                    .unwrap_or_else(|| panic!("{name} needs a value; {usage}"))
             };
             match flag.as_str() {
                 "--repeats" => out.repeats = value("--repeats").parse().expect(usage),
@@ -92,8 +93,7 @@ impl CliArgs {
 }
 
 fn cache_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/prvm-results");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/prvm-results");
     std::fs::create_dir_all(&dir).expect("create cache dir");
     dir
 }
@@ -314,7 +314,11 @@ pub fn print_metric_table(
         print!(" | {a:>26}");
     }
     println!();
-    let mut ns: Vec<usize> = rows.iter().filter(|r| r.trace == trace).map(|r| r.n_vms).collect();
+    let mut ns: Vec<usize> = rows
+        .iter()
+        .filter(|r| r.trace == trace)
+        .map(|r| r.n_vms)
+        .collect();
     ns.sort_unstable();
     ns.dedup();
     for n in ns {

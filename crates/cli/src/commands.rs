@@ -1,13 +1,15 @@
 //! Subcommand implementations and minimal flag parsing.
 
 use pagerankvm::{
-    paths_to_best, rank_stats, top_profiles, GraphLimits, PageRankConfig, ProfileSpace,
-    ProfileVm, ScoreTable,
+    paths_to_best, rank_stats, top_profiles, GraphLimits, PageRankConfig, ProfileSpace, ProfileVm,
+    ScoreTable,
 };
 use prvm_model::catalog;
+use prvm_obs::{LogMode, ObsConfig, Registry, Span};
 use prvm_sim::{build_cluster, simulate_traced, Algorithm, SimConfig, Workload, WorkloadConfig};
 use prvm_testbed::{run_testbed, TestbedConfig};
 use prvm_traces::TraceKind;
+use std::io::Write as _;
 use std::sync::Arc;
 
 /// Top-level usage text.
@@ -26,9 +28,44 @@ commands:
             optionally dump the per-scan time series as CSV
   testbed   --jobs N [--algo NAME] [--seed N] [--minutes M]
             run the emulated GENI testbed
+  report    FILE.jsonl
+            summarize a recorded event log: phase wall-time breakdown,
+            PageRank convergence, event counts
+
+observability (place, simulate, testbed):
+  --log off|pretty|json   stream events to stderr (default off)
+  --events FILE.jsonl     record every event as JSON lines
+  --metrics FILE.json     dump the metrics registry (phases, counters,
+                          gauges, residual series) at exit
 
 algorithms: pagerankvm (default), 2choice, ff, ffdsum, compvm, bestfit,
 worstfit";
+
+/// Install the event sink from `--log`/`--events` and hand back the
+/// `--metrics` path for [`obs_finish`].
+fn obs_setup(f: &[(String, Option<String>)]) -> Result<Option<String>, String> {
+    let log = match get(f, "log") {
+        None => LogMode::Off,
+        Some(v) => LogMode::parse(v)
+            .ok_or_else(|| format!("bad value for --log: {v} (off|pretty|json)"))?,
+    };
+    let events_path = get(f, "events").map(std::path::PathBuf::from);
+    prvm_obs::init(ObsConfig { log, events_path }).map_err(|e| format!("--events: {e}"))?;
+    Ok(get(f, "metrics").map(str::to_owned))
+}
+
+/// Flush the event sink and write the `--metrics` JSON dump, if asked.
+fn obs_finish(metrics: Option<String>) -> Result<(), String> {
+    prvm_obs::flush().map_err(|e| e.to_string())?;
+    if let Some(path) = metrics {
+        let snapshot = Registry::global().snapshot();
+        let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
+        let mut file = std::fs::File::create(&path).map_err(|e| format!("--metrics: {e}"))?;
+        writeln!(file, "{json}").map_err(|e| format!("--metrics: {e}"))?;
+        println!("  metrics written to {path}");
+    }
+    Ok(())
+}
 
 /// Parse `--key value` pairs (plus bare `--flag` booleans).
 fn flags(args: &[String]) -> Result<Vec<(String, Option<String>)>, String> {
@@ -115,7 +152,11 @@ pub fn rank(args: &[String]) -> Result<(), String> {
     if let Some(spec) = get(&f, "profile") {
         let raw: Vec<u64> = spec
             .split(',')
-            .map(|s| s.trim().parse().map_err(|_| format!("bad profile `{spec}`")))
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| format!("bad profile `{spec}`"))
+            })
             .collect::<Result<_, _>>()?;
         if raw.len() != dims {
             return Err(format!("--profile needs {dims} values"));
@@ -150,6 +191,8 @@ pub fn place(args: &[String]) -> Result<(), String> {
     if n == 0 {
         return Err("--vms must be positive".into());
     }
+    let metrics = obs_setup(&f)?;
+    let run_span = Span::enter("place");
 
     let book = prvm_sim::ec2_score_book();
     let wl = WorkloadConfig::sized_for(n, TraceKind::PlanetLab);
@@ -182,7 +225,8 @@ pub fn place(args: &[String]) -> Result<(), String> {
             );
         }
     }
-    Ok(())
+    drop(run_span);
+    obs_finish(metrics)
 }
 
 /// `pagerankvm simulate`.
@@ -192,6 +236,8 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
     let seed: u64 = parse(&f, "seed", 42)?;
     let hours: u64 = parse(&f, "hours", 24)?;
     let algorithm = algo(&f)?;
+    let metrics = obs_setup(&f)?;
+    let run_span = Span::enter("simulate");
 
     let sim = SimConfig {
         horizon_s: hours * 3600,
@@ -208,7 +254,10 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
         placer.as_mut(),
         evictor.as_mut(),
     );
-    println!("{} over {hours} h, {n} VMs (seed {seed}):", algorithm.name());
+    println!(
+        "{} over {hours} h, {n} VMs (seed {seed}):",
+        algorithm.name()
+    );
     println!("  PMs used (allocation): {}", o.pms_used_initial);
     println!("  PMs ever used:         {}", o.pms_used);
     println!("  energy:                {:.1} kWh", o.energy_kwh);
@@ -221,7 +270,8 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
         ts.write_csv(&mut file).map_err(|e| e.to_string())?;
         println!("  per-scan time series written to {path}");
     }
-    Ok(())
+    drop(run_span);
+    obs_finish(metrics)
 }
 
 /// `pagerankvm testbed`.
@@ -231,6 +281,8 @@ pub fn testbed(args: &[String]) -> Result<(), String> {
     let seed: u64 = parse(&f, "seed", 42)?;
     let minutes: u64 = parse(&f, "minutes", 240)?;
     let algorithm = algo(&f)?;
+    let metrics = obs_setup(&f)?;
+    let run_span = Span::enter("testbed");
 
     let cfg = TestbedConfig {
         duration_s: minutes * 60,
@@ -250,6 +302,19 @@ pub fn testbed(args: &[String]) -> Result<(), String> {
     println!("  kill/restart migrations: {}", o.migrations);
     println!("  SLO violations:          {:.2} %", o.slo_violation_pct);
     println!("  rejected jobs:           {}", o.rejected_jobs);
+    drop(run_span);
+    obs_finish(metrics)
+}
+
+/// `pagerankvm report FILE.jsonl`.
+pub fn report(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("usage: pagerankvm report FILE.jsonl".into());
+    };
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let summary = prvm_obs::summarize_events(std::io::BufReader::new(file))
+        .map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", prvm_obs::render_report(&summary));
     Ok(())
 }
 
@@ -289,8 +354,58 @@ mod tests {
         assert!(rank(&s(&["--cap", "0"])).is_err());
     }
 
+    /// One test covers every command that touches the process-global
+    /// event sink, so parallel tests cannot re-initialize it mid-run.
     #[test]
-    fn place_command_runs_small() {
+    fn obs_flags_roundtrip_through_report() {
         place(&s(&["--vms", "12", "--algo", "ff", "--seed", "1"])).unwrap();
+
+        let dir = std::env::temp_dir();
+        let events = dir.join(format!("prvm-cli-test-{}.jsonl", std::process::id()));
+        let metrics = dir.join(format!("prvm-cli-test-{}.json", std::process::id()));
+        simulate(&s(&[
+            "--vms",
+            "12",
+            "--algo",
+            "ff",
+            "--seed",
+            "1",
+            "--hours",
+            "1",
+            "--events",
+            events.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // The events file replays through the report subcommand and
+        // carries the per-phase spans.
+        let log = std::fs::read_to_string(&events).unwrap();
+        assert!(log.lines().count() > 0);
+        let summary = prvm_obs::summarize_events(std::io::BufReader::new(log.as_bytes())).unwrap();
+        let phases: Vec<&str> = summary.phases.iter().map(|p| p.name.as_str()).collect();
+        assert!(phases.contains(&"simulate"), "{phases:?}");
+        assert!(phases.contains(&"simulate/scan"), "{phases:?}");
+        report(&s(&[events.to_str().unwrap()])).unwrap();
+        assert!(report(&s(&["/nonexistent/events.jsonl"])).is_err());
+        assert!(report(&s(&[])).is_err());
+
+        // The metrics dump is valid JSON with the expected sections.
+        let dump = std::fs::read_to_string(&metrics).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&dump).unwrap();
+        assert!(value.field("phases").is_ok());
+        assert!(value.field("counters").is_ok());
+
+        // Disable the sink again for any later test in this process.
+        prvm_obs::init(ObsConfig::default()).unwrap();
+        std::fs::remove_file(&events).ok();
+        std::fs::remove_file(&metrics).ok();
+    }
+
+    #[test]
+    fn bad_log_flag_is_rejected() {
+        let err = simulate(&s(&["--vms", "4", "--log", "loud"])).unwrap_err();
+        assert!(err.contains("--log"), "{err}");
     }
 }

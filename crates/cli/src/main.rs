@@ -5,7 +5,11 @@
 //! pagerankvm place --vms 200 [--algo pagerankvm|ff|ffdsum|compvm] [--seed N]
 //! pagerankvm simulate --vms 200 [--algo …] [--seed N] [--hours H] [--csv FILE]
 //! pagerankvm testbed --jobs 150 [--algo …] [--seed N]
+//! pagerankvm report FILE.jsonl
 //! ```
+//!
+//! `place`, `simulate` and `testbed` also take `--log off|pretty|json`,
+//! `--events FILE.jsonl` and `--metrics FILE.json` (see `--help`).
 
 mod commands;
 
@@ -22,6 +26,7 @@ fn main() -> ExitCode {
         "place" => commands::place(rest),
         "simulate" => commands::simulate(rest),
         "testbed" => commands::testbed(rest),
+        "report" => commands::report(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -12,6 +12,7 @@
 //! sweep.
 
 use crate::profile::{Profile, ProfileSpace, ProfileVm};
+use prvm_obs::Span;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -92,6 +93,7 @@ impl ProfileGraph {
         vm_types: Vec<ProfileVm>,
         limits: GraphLimits,
     ) -> Result<Self, GraphError> {
+        let _span = Span::enter("graph_build");
         let empty = space.empty_profile();
         let usable: Vec<ProfileVm> = vm_types
             .into_iter()
@@ -187,6 +189,14 @@ impl ProfileGraph {
         }
 
         let util = nodes.iter().map(|p| space.utilization(p)).collect();
+        prvm_obs::counter!("graph.nodes", nodes.len() as u64);
+        prvm_obs::counter!("graph.edges", succ.len() as u64);
+        prvm_obs::event("graph.built")
+            .field("mode", "full")
+            .field("nodes", nodes.len())
+            .field("edges", succ.len())
+            .field("vm_types", usable.len())
+            .emit();
         Ok(Self {
             space,
             vm_types: usable,
@@ -212,6 +222,7 @@ impl ProfileGraph {
         vm_types: Vec<ProfileVm>,
         limits: GraphLimits,
     ) -> Result<Self, GraphError> {
+        let _span = Span::enter("graph_build");
         let empty = space.empty_profile();
         let usable: Vec<ProfileVm> = vm_types
             .into_iter()
@@ -232,13 +243,17 @@ impl ProfileGraph {
         // each node is fully expanded exactly once.
         let mut cursor = 0usize;
         let mut buf: Vec<NodeId> = Vec::new();
+        let mut dedup_hits = 0u64;
         while cursor < nodes.len() {
             buf.clear();
             let node = nodes[cursor].clone();
             for vm in &usable {
                 for out in space.place(&node, vm) {
                     let id = match index.get(&out) {
-                        Some(&id) => id,
+                        Some(&id) => {
+                            dedup_hits += 1;
+                            id
+                        }
                         None => {
                             if nodes.len() >= limits.max_nodes {
                                 return Err(GraphError::TooLarge {
@@ -262,6 +277,16 @@ impl ProfileGraph {
         }
 
         let util = nodes.iter().map(|p| space.utilization(p)).collect();
+        prvm_obs::counter!("graph.nodes", nodes.len() as u64);
+        prvm_obs::counter!("graph.edges", succ.len() as u64);
+        prvm_obs::counter!("graph.dedup_hits", dedup_hits);
+        prvm_obs::event("graph.built")
+            .field("mode", "bfs")
+            .field("nodes", nodes.len())
+            .field("edges", succ.len())
+            .field("dedup_hits", dedup_hits)
+            .field("vm_types", usable.len())
+            .emit();
         Ok(Self {
             space,
             vm_types: usable,

@@ -27,6 +27,7 @@
 //! comparison (see DESIGN.md §5 and the ablation bench).
 
 use crate::graph::ProfileGraph;
+use prvm_obs::{event, Registry, Span};
 
 /// Which way votes flow along profile-graph edges. See the module docs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
@@ -74,6 +75,11 @@ pub struct PageRankResult {
     pub iterations: usize,
     /// `true` if the `epsilon` criterion was met within `max_iters`.
     pub converged: bool,
+    /// Max per-node score change after each executed iteration, in
+    /// order — the convergence trajectory. `residuals.len()` equals
+    /// `iterations`, and the last entry is below `epsilon` iff
+    /// `converged`.
+    pub residuals: Vec<f64>,
 }
 
 /// Run Algorithm 1 (lines 2–18) over `graph`.
@@ -90,6 +96,10 @@ pub fn pagerank(graph: &ProfileGraph, config: &PageRankConfig) -> PageRankResult
     );
     let n = graph.node_count();
     assert!(n > 0, "graph must have nodes");
+
+    let _span = Span::enter("pagerank");
+    let run = Registry::global().counter("pagerank.runs").add_fetch(1);
+    let residual_series = Registry::global().series(&format!("pagerank.residuals.run{run}"));
 
     // For the transposed orientation each node's "out-degree" is its
     // forward in-degree.
@@ -109,6 +119,7 @@ pub fn pagerank(graph: &ProfileGraph, config: &PageRankConfig) -> PageRankResult
     let mut aux = vec![0.0; n];
     let mut iterations = 0;
     let mut converged = false;
+    let mut residuals = Vec::new();
 
     while iterations < config.max_iters {
         iterations += 1;
@@ -155,16 +166,33 @@ pub fn pagerank(graph: &ProfileGraph, config: &PageRankConfig) -> PageRankResult
             delta = delta.max((next[i] - pr[i]).abs());
         }
         pr = next;
+        residuals.push(delta);
+        residual_series.push(delta);
+        event("pagerank.iteration")
+            .field("run", run)
+            .field("iter", iterations)
+            .field("residual", delta)
+            .emit();
         if delta < config.epsilon {
             converged = true;
             break;
         }
     }
 
+    prvm_obs::counter!("pagerank.iterations_total", iterations as u64);
+    event("pagerank.done")
+        .field("run", run)
+        .field("nodes", n)
+        .field("iterations", iterations)
+        .field("converged", converged)
+        .field("residual", residuals.last().copied().unwrap_or(0.0))
+        .emit();
+
     PageRankResult {
         scores: pr,
         iterations,
         converged,
+        residuals,
     }
 }
 
@@ -274,6 +302,33 @@ mod tests {
         );
         assert_eq!(r.iterations, 3);
         assert!(!r.converged);
+    }
+
+    #[test]
+    fn residuals_trace_the_convergence_trajectory() {
+        let g = paper_graph();
+        let r = pagerank(&g, &PageRankConfig::default());
+        assert_eq!(r.residuals.len(), r.iterations);
+        assert!(r.converged);
+        let last = *r.residuals.last().unwrap();
+        assert!(last < PageRankConfig::default().epsilon);
+        // Every earlier residual stayed at or above the threshold (the
+        // loop stops at the first sub-epsilon sweep).
+        assert!(r.residuals[..r.iterations - 1]
+            .iter()
+            .all(|&d| d >= PageRankConfig::default().epsilon));
+
+        // A capped run reports the full (unconverged) trajectory too.
+        let capped = pagerank(
+            &g,
+            &PageRankConfig {
+                epsilon: 0.0,
+                max_iters: 3,
+                ..PageRankConfig::default()
+            },
+        );
+        assert_eq!(capped.residuals.len(), 3);
+        assert!(!capped.converged);
     }
 
     #[test]

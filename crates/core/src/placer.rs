@@ -77,6 +77,10 @@ impl PageRankVmPlacer {
         if disk_options.is_empty() {
             return None;
         }
+        prvm_obs::counter!(
+            "placer.permutations_evaluated",
+            (core_options.len() * disk_options.len()) as u64
+        );
 
         let mut best: Option<(f64, Assignment)> = None;
         let mut new_cores = cores.clone();
@@ -122,6 +126,7 @@ impl PlacementAlgorithm for PageRankVmPlacer {
     ) -> Option<PlacementDecision> {
         let mut best: Option<(f64, PmId, Assignment)> = None;
         let mut fallback: Option<PlacementDecision> = None;
+        let mut scanned = 0u64;
 
         // Lines 2–13: scan used PMs for the maximum-score option.
         for pm_id in cluster.used_pms() {
@@ -132,6 +137,7 @@ impl PlacementAlgorithm for PageRankVmPlacer {
             if !pm.has_aggregate_room(vm) {
                 continue;
             }
+            scanned += 1;
             match self.best_option(pm, vm) {
                 Some((score, assignment)) => {
                     if best.as_ref().is_none_or(|(b, _, _)| score > *b) {
@@ -153,10 +159,14 @@ impl PlacementAlgorithm for PageRankVmPlacer {
                 }
             }
         }
+        prvm_obs::counter!("placer.used_pms_scanned", scanned);
         if let Some((_, pm, assignment)) = best {
+            prvm_obs::counter!("placer.used_pm_placements");
             return Some(PlacementDecision { pm, assignment });
         }
         if fallback.is_some() {
+            prvm_obs::counter!("placer.used_pm_placements");
+            prvm_obs::counter!("placer.quantized_fallbacks");
             return fallback;
         }
 
@@ -166,12 +176,14 @@ impl PlacementAlgorithm for PageRankVmPlacer {
                 continue;
             }
             if let Some(assignment) = cluster.pm(pm_id).first_feasible(vm) {
+                prvm_obs::counter!("placer.unused_pm_opens");
                 return Some(PlacementDecision {
                     pm: pm_id,
                     assignment,
                 });
             }
         }
+        prvm_obs::counter!("placer.placement_failures");
         None
     }
 }
@@ -235,7 +247,15 @@ impl EvictionPolicy for PageRankEviction {
         }
         // Fallback when no post-removal profile is scoreable: evict the
         // largest VM (it frees the most quantized resource).
-        best.map(|(_, id)| id).or(biggest.map(|(_, id)| id))
+        let fell_back = best.is_none();
+        let victim = best.map(|(_, id)| id).or(biggest.map(|(_, id)| id));
+        if victim.is_some() {
+            prvm_obs::counter!("placer.eviction_picks");
+            if fell_back {
+                prvm_obs::counter!("placer.eviction_size_fallbacks");
+            }
+        }
+        victim
     }
 }
 
@@ -284,7 +304,11 @@ mod tests {
         let vms = vec![catalog::vm_m3_medium(); 8];
         place_batch(&mut placer, &mut cluster, vms).unwrap();
         // 8 m3.medium easily share far fewer than 8 PMs.
-        assert!(cluster.active_pm_count() <= 2, "{}", cluster.active_pm_count());
+        assert!(
+            cluster.active_pm_count() <= 2,
+            "{}",
+            cluster.active_pm_count()
+        );
     }
 
     #[test]
@@ -390,9 +414,7 @@ mod tests {
         let pm = cluster.pm(PmId(0));
         let table = b.table(pm.spec()).unwrap();
         let space = table.space();
-        let s_remove_small = table
-            .score(&space.canonicalize(&[&[1, 1, 1, 1]]))
-            .unwrap();
+        let s_remove_small = table.score(&space.canonicalize(&[&[1, 1, 1, 1]])).unwrap();
         let s_remove_big = table.score(&space.canonicalize(&[&[1, 1, 0, 0]])).unwrap();
         let mut evict = PageRankEviction::new(b.clone());
         let victim = evict.select(pm, &|_| Mhz::ZERO).unwrap();

@@ -102,9 +102,7 @@ impl ScoreTable {
     /// in the graph (e.g. an over-committed fallback placement).
     #[must_use]
     pub fn score(&self, profile: &Profile) -> Option<f64> {
-        self.graph
-            .node(profile)
-            .map(|id| self.scores[id as usize])
+        self.graph.node(profile).map(|id| self.scores[id as usize])
     }
 
     /// Iterate `(profile, score)` pairs.
@@ -151,6 +149,7 @@ impl ScoreBook {
         config: &PageRankConfig,
         limits: GraphLimits,
     ) -> Result<Self, GraphError> {
+        let _span = prvm_obs::Span::enter("score_book");
         let mut tables = HashMap::new();
         for pm in pm_specs {
             if tables.contains_key(pm) {
@@ -165,6 +164,9 @@ impl ScoreBook {
             let table = ScoreTable::build(space, vms, config, limits)?;
             tables.insert(pm.clone(), table);
         }
+        prvm_obs::event("score_book.built")
+            .field("pm_types", tables.len())
+            .emit();
         Ok(Self { quantizer, tables })
     }
 
@@ -291,9 +293,7 @@ mod tests {
         // Multisets of size 4 over {0..4}: C(8,4) = 70.
         assert_eq!(t.len(), 70);
         // Odd-total profiles now have scores too.
-        assert!(t
-            .score(&t.space().canonicalize(&[&[1, 0, 0, 0]]))
-            .is_some());
+        assert!(t.score(&t.space().canonicalize(&[&[1, 0, 0, 0]])).is_some());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Scale checks for the EC2-catalog profile graphs (release-mode friendly).
 
-use pagerankvm::{PageRankConfig, GraphLimits, ScoreBook};
+use pagerankvm::{GraphLimits, PageRankConfig, ScoreBook};
 use prvm_model::{catalog, Quantizer};
 use std::time::Instant;
 
@@ -8,9 +8,21 @@ use std::time::Instant;
 #[ignore = "scale probe; run with --release -- --ignored"]
 fn ec2_default_quantizer_graph_stats() {
     for q in [
-        Quantizer { core_slots: 2, mem_levels: 4, disk_levels: 2 },
-        Quantizer { core_slots: 4, mem_levels: 4, disk_levels: 2 },
-        Quantizer { core_slots: 4, mem_levels: 8, disk_levels: 4 },
+        Quantizer {
+            core_slots: 2,
+            mem_levels: 4,
+            disk_levels: 2,
+        },
+        Quantizer {
+            core_slots: 4,
+            mem_levels: 4,
+            disk_levels: 2,
+        },
+        Quantizer {
+            core_slots: 4,
+            mem_levels: 8,
+            disk_levels: 4,
+        },
     ] {
         let t0 = Instant::now();
         let book = ScoreBook::build(
@@ -39,8 +51,16 @@ fn ec2_default_quantizer_graph_stats() {
 #[ignore = "scale probe; run with --release -- --ignored"]
 fn finer_quantizers() {
     for q in [
-        Quantizer { core_slots: 4, mem_levels: 16, disk_levels: 4 },
-        Quantizer { core_slots: 8, mem_levels: 16, disk_levels: 4 },
+        Quantizer {
+            core_slots: 4,
+            mem_levels: 16,
+            disk_levels: 4,
+        },
+        Quantizer {
+            core_slots: 8,
+            mem_levels: 16,
+            disk_levels: 4,
+        },
     ] {
         let t0 = Instant::now();
         match ScoreBook::build(

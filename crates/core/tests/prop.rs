@@ -2,8 +2,8 @@
 //! graph structure, PageRank and BPRU invariants.
 
 use pagerankvm::{
-    compute_bpru, pagerank, GraphLimits, Orientation, PageRankConfig, ProfileGraph,
-    ProfileSpace, ProfileVm, ScoreTable,
+    compute_bpru, pagerank, GraphLimits, Orientation, PageRankConfig, ProfileGraph, ProfileSpace,
+    ProfileVm, ScoreTable,
 };
 use proptest::prelude::*;
 
@@ -11,9 +11,8 @@ use proptest::prelude::*;
 fn arb_setting() -> impl Strategy<Value = (ProfileSpace, Vec<ProfileVm>)> {
     (2usize..5, 2u16..5).prop_flat_map(|(dims, cap)| {
         let space = ProfileSpace::uniform(dims, cap);
-        let vm = (1usize..=dims, 1u64..=u64::from(cap)).prop_map(|(width, size)| {
-            ProfileVm::from_demands("vm", vec![vec![size; width]])
-        });
+        let vm = (1usize..=dims, 1u64..=u64::from(cap))
+            .prop_map(|(width, size)| ProfileVm::from_demands("vm", vec![vec![size; width]]));
         (Just(space), prop::collection::vec(vm, 1..4))
     })
 }

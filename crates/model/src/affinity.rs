@@ -205,9 +205,7 @@ pub fn place_batch_with_rules(
         placed[idx] = Some(decision.pm);
         ids.insert(idx, id);
     }
-    Ok((0..vms.len())
-        .map(|i| ids[&i])
-        .collect())
+    Ok((0..vms.len()).map(|i| ids[&i]).collect())
 }
 
 #[cfg(test)]

@@ -234,7 +234,10 @@ mod tests {
         // Placing [1,1] on an empty 4-core PM: only one distinct outcome.
         let p = distinct_placements(&[0, 0, 0, 0], &[4, 4, 4, 4], &[1, 1]);
         assert_eq!(p.len(), 1);
-        assert_eq!(outcomes(&[0, 0, 0, 0], &[4, 4, 4, 4], &[1, 1]), vec![vec![0, 0, 1, 1]]);
+        assert_eq!(
+            outcomes(&[0, 0, 0, 0], &[4, 4, 4, 4], &[1, 1]),
+            vec![vec![0, 0, 1, 1]]
+        );
     }
 
     #[test]

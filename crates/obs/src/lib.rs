@@ -1,0 +1,96 @@
+//! Structured observability for the PageRankVM suite.
+//!
+//! Three cooperating layers, all safe to leave compiled into hot paths:
+//!
+//! * **Spans** ([`Span`]) — RAII wall-time phases. `Span::enter("pagerank")`
+//!   times a block; nesting builds slash paths (`simulate/scan`). Every
+//!   drop feeds the `span.<path>` histogram in the global [`Registry`]
+//!   and emits a `span_end` event.
+//! * **Metrics** ([`Registry`]) — named counters, gauges, log-scale
+//!   latency histograms and numeric series. Always on: recording is a
+//!   couple of relaxed atomic ops, and the [`counter!`]/[`gauge!`]
+//!   macros cache the name lookup per call site.
+//! * **Events** ([`event`]) — structured JSON-lines records with a
+//!   pluggable sink ([`init`]): pretty or JSON on stderr, and/or a
+//!   JSONL file. Off by default; the disabled path is one atomic load.
+//!
+//! [`report`] turns either a recorded event log or a live
+//! [`MetricsSnapshot`] back into human-readable phase breakdowns and
+//! PageRank convergence summaries.
+//!
+//! Event envelope schema (one JSON object per line):
+//!
+//! ```json
+//! {"seq":7,"ts_s":0.0123,"name":"pagerank.iteration",
+//!  "span":"place/pagerank","fields":{"run":1,"iter":3,"residual":1e-4}}
+//! ```
+
+pub mod event;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use event::{event, flush, init, is_enabled, EventBuilder, LogMode, ObsConfig};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, PhaseSummary, Registry, Series,
+};
+pub use report::{render_metrics, render_report, summarize_events, ReportSummary};
+pub use span::Span;
+
+/// Bump a named counter in the global [`Registry`], caching the handle
+/// per call site.
+///
+/// ```
+/// prvm_obs::counter!("placer.permutations_evaluated", 12);
+/// prvm_obs::counter!("placer.evictions"); // increment by one
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {
+        $crate::counter!($name, 1u64)
+    };
+    ($name:expr, $delta:expr) => {{
+        static CACHED: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        CACHED
+            .get_or_init(|| $crate::Registry::global().counter($name))
+            .add($delta as u64);
+    }};
+}
+
+/// Set a named gauge in the global [`Registry`], caching the handle
+/// per call site.
+///
+/// ```
+/// prvm_obs::gauge!("sim.mean_utilization", 0.62);
+/// ```
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $value:expr) => {{
+        static CACHED: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        CACHED
+            .get_or_init(|| $crate::Registry::global().gauge($name))
+            .set($value as f64);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn macros_record_into_the_global_registry() {
+        counter!("obs_lib_test.counter", 2);
+        counter!("obs_lib_test.counter", 2);
+        gauge!("obs_lib_test.gauge", 1.25);
+        assert_eq!(
+            crate::Registry::global()
+                .counter("obs_lib_test.counter")
+                .get(),
+            4
+        );
+        assert_eq!(
+            crate::Registry::global().gauge("obs_lib_test.gauge").get(),
+            1.25
+        );
+    }
+}

@@ -1,0 +1,512 @@
+//! Run-metrics registry: named counters, gauges, log-scale histograms
+//! and numeric series, all thread-safe and cheap enough to leave on in
+//! hot paths (plain atomics; no locks after first lookup).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Duration;
+
+/// Monotonic event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `delta` occurrences.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Add `delta` occurrences and return the new total. Handy for
+    /// handing out unique run ids from a counter.
+    pub fn add_fetch(&self, delta: u64) -> u64 {
+        self.0.fetch_add(delta, Ordering::Relaxed) + delta
+    }
+
+    /// Add one occurrence.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-write-wins floating point value (stored as bits in an atomic).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Record the current level.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Last recorded level (0.0 if never set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An append-only sequence of observations, for values where the whole
+/// trajectory matters (e.g. per-iteration PageRank residuals).
+#[derive(Debug, Default)]
+pub struct Series(Mutex<Vec<f64>>);
+
+impl Series {
+    /// Append one observation.
+    pub fn push(&self, value: f64) {
+        self.0.lock().expect("series lock").push(value);
+    }
+
+    /// Copy of all observations in insertion order.
+    pub fn values(&self) -> Vec<f64> {
+        self.0.lock().expect("series lock").clone()
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.0.lock().expect("series lock").len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn reset(&self) {
+        self.0.lock().expect("series lock").clear();
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per power of two
+/// up to `u64::MAX`.
+const BUCKETS: usize = 65;
+
+/// Log-scale histogram: bucket `0` holds zeros, bucket `i >= 1` holds
+/// values in `[2^(i-1), 2^i)`. Two atomic adds per record.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a value.
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Largest value falling into bucket `index`.
+fn bucket_upper_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration in nanoseconds.
+    pub fn record_duration(&self, duration: Duration) {
+        self.record(duration.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`q` in `[0, 1]`); 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Point-in-time summary.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        let sum = self.sum();
+        HistogramSnapshot {
+            count,
+            sum,
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+        }
+    }
+
+    fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Summary of a [`Histogram`]. `p50`/`p99` are bucket upper bounds, so
+/// they over-estimate by at most 2x (log-scale buckets).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub mean: f64,
+    pub p50: u64,
+    pub p99: u64,
+}
+
+/// Wall-time summary of one span path, derived from the `span.<path>`
+/// histograms at snapshot time.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PhaseSummary {
+    /// Span path, e.g. `simulate/scan`.
+    pub name: String,
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total wall time across entries, in milliseconds.
+    pub total_ms: f64,
+    /// Mean wall time per entry, in milliseconds.
+    pub mean_ms: f64,
+}
+
+/// Prefix under which [`crate::Span`] records its duration histograms.
+pub const SPAN_METRIC_PREFIX: &str = "span.";
+
+/// A namespace of metrics. Most code uses [`Registry::global`]; tests
+/// can build private registries.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    series: RwLock<BTreeMap<String, Arc<Series>>>,
+}
+
+fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().expect("registry lock").get(name) {
+        return Arc::clone(found);
+    }
+    Arc::clone(
+        map.write()
+            .expect("registry lock")
+            .entry(name.to_owned())
+            .or_default(),
+    )
+}
+
+impl Registry {
+    /// Fresh empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-wide registry that the `counter!`/`gauge!` macros
+    /// and [`crate::Span`] record into.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Get or create a counter. Call sites on hot paths should cache
+    /// the handle (the `counter!` macro does).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// Get or create a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// Get or create a histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// Get or create a series.
+    pub fn series(&self, name: &str) -> Arc<Series> {
+        get_or_insert(&self.series, name)
+    }
+
+    /// Zero every metric in place. Cached handles stay valid.
+    pub fn reset(&self) {
+        for counter in self.counters.read().expect("registry lock").values() {
+            counter.reset();
+        }
+        for gauge in self.gauges.read().expect("registry lock").values() {
+            gauge.reset();
+        }
+        for histogram in self.histograms.read().expect("registry lock").values() {
+            histogram.reset();
+        }
+        for series in self.series.read().expect("registry lock").values() {
+            series.reset();
+        }
+    }
+
+    /// Point-in-time copy of every metric, ordered by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let histograms: Vec<(String, HistogramSnapshot)> = self
+            .histograms
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        let phases = histograms
+            .iter()
+            .filter_map(|(name, snap)| {
+                let path = name.strip_prefix(SPAN_METRIC_PREFIX)?;
+                Some(PhaseSummary {
+                    name: path.to_owned(),
+                    count: snap.count,
+                    total_ms: snap.sum as f64 / 1e6,
+                    mean_ms: snap.mean / 1e6,
+                })
+            })
+            .collect();
+        MetricsSnapshot {
+            phases,
+            counters: self
+                .counters
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
+            histograms,
+            series: self
+                .series
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(name, s)| (name.clone(), s.values()))
+                .collect(),
+        }
+    }
+}
+
+/// Frozen copy of a [`Registry`], the shape written by `--metrics`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Wall-time per span path (histograms under [`SPAN_METRIC_PREFIX`]).
+    pub phases: Vec<PhaseSummary>,
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+/// Hand-written so name-keyed sections serialize as JSON objects
+/// rather than arrays of pairs.
+impl serde::Serialize for MetricsSnapshot {
+    fn to_value(&self) -> serde::Value {
+        fn object<T: serde::Serialize>(pairs: &[(String, T)]) -> serde::Value {
+            serde::Value::Object(
+                pairs
+                    .iter()
+                    .map(|(name, v)| (name.clone(), v.to_value()))
+                    .collect(),
+            )
+        }
+        serde::Value::Object(vec![
+            ("phases".to_owned(), self.phases.to_value()),
+            ("counters".to_owned(), object(&self.counters)),
+            ("gauges".to_owned(), object(&self.gauges)),
+            ("histograms".to_owned(), object(&self.histograms)),
+            ("series".to_owned(), object(&self.series)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Exact boundary values land in the bucket they open.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(255), 8);
+        assert_eq!(bucket_of(256), 9);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(9), 511);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_use_bucket_upper_bounds() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 1, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 105);
+        // Ranked: 0, 1, 1, 3, 100 -> median is 1 (bucket [1,1]).
+        assert_eq!(h.quantile(0.5), 1);
+        // p99 -> the 100 observation, bucket [64,127].
+        assert_eq!(h.quantile(0.99), 127);
+        assert_eq!(h.quantile(0.0), 0);
+        let snap = h.snapshot();
+        assert_eq!(snap.p50, 1);
+        assert_eq!(snap.p99, 127);
+        assert!((snap.mean - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zero() {
+        let snap = Histogram::default().snapshot();
+        assert_eq!(
+            snap,
+            HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                mean: 0.0,
+                p50: 0,
+                p99: 0
+            }
+        );
+    }
+
+    #[test]
+    fn registry_reuses_instruments_by_name() {
+        let reg = Registry::new();
+        reg.counter("x").add(2);
+        reg.counter("x").add(3);
+        assert_eq!(reg.counter("x").get(), 5);
+        reg.gauge("level").set(0.75);
+        assert_eq!(reg.gauge("level").get(), 0.75);
+        reg.series("residuals").push(0.5);
+        reg.series("residuals").push(0.25);
+        assert_eq!(reg.series("residuals").values(), vec![0.5, 0.25]);
+        reg.reset();
+        assert_eq!(reg.counter("x").get(), 0);
+        assert_eq!(reg.gauge("level").get(), 0.0);
+        assert!(reg.series("residuals").is_empty());
+    }
+
+    #[test]
+    fn counters_are_atomic_under_thread_fanout() {
+        let reg = Arc::new(Registry::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    let counter = reg.counter("shared");
+                    let histogram = reg.histogram("values");
+                    for i in 0..per_thread {
+                        counter.incr();
+                        histogram.record(i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
+        assert_eq!(reg.counter("shared").get(), threads * per_thread);
+        assert_eq!(reg.histogram("values").count(), threads * per_thread);
+        assert_eq!(
+            reg.histogram("values").sum(),
+            threads * (per_thread * (per_thread - 1) / 2)
+        );
+    }
+
+    #[test]
+    fn snapshot_derives_phases_from_span_histograms() {
+        let reg = Registry::new();
+        reg.histogram("span.place/pagerank")
+            .record_duration(Duration::from_millis(4));
+        reg.histogram("span.place/pagerank")
+            .record_duration(Duration::from_millis(2));
+        reg.histogram("other").record(7);
+        let snap = reg.snapshot();
+        assert_eq!(snap.phases.len(), 1);
+        let phase = &snap.phases[0];
+        assert_eq!(phase.name, "place/pagerank");
+        assert_eq!(phase.count, 2);
+        assert!((phase.total_ms - 6.0).abs() < 0.5);
+        assert!((phase.mean_ms - 3.0).abs() < 0.25);
+    }
+
+    #[test]
+    fn snapshot_serializes_name_keyed_objects() {
+        let reg = Registry::new();
+        reg.counter("migrations").add(3);
+        reg.gauge("utilization").set(0.5);
+        let json = serde_json::to_string(&reg.snapshot()).expect("serializable");
+        assert!(json.contains("\"migrations\":3"));
+        assert!(json.contains("\"utilization\":0.5"));
+        assert!(json.contains("\"phases\":[]"));
+    }
+}

@@ -1,0 +1,104 @@
+//! RAII timing spans. `Span::enter("pagerank")` times a phase; nesting
+//! builds slash-joined paths (`simulate/scan`), and each drop records
+//! the duration into the global registry's `span.<path>` histogram and
+//! emits a `span_end` event.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Slash-joined path of the spans currently open on this thread, if
+/// any. Stamped onto events as ambient context.
+pub fn current_path() -> Option<String> {
+    STACK.with(|stack| {
+        let stack = stack.borrow();
+        if stack.is_empty() {
+            None
+        } else {
+            Some(stack.join("/"))
+        }
+    })
+}
+
+/// An open timing span; close it by dropping. Spans on one thread must
+/// drop in reverse entry order (the natural RAII shape).
+#[derive(Debug)]
+pub struct Span {
+    path: String,
+    start: Instant,
+}
+
+impl Span {
+    /// Open a span named `name` nested under any currently open spans.
+    pub fn enter(name: &'static str) -> Span {
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name);
+            stack.join("/")
+        });
+        Span {
+            path,
+            start: Instant::now(),
+        }
+    }
+
+    /// Full slash-joined path of this span.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let duration = self.start.elapsed();
+        STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        crate::Registry::global()
+            .histogram(&format!(
+                "{}{}",
+                crate::metrics::SPAN_METRIC_PREFIX,
+                self.path
+            ))
+            .record_duration(duration);
+        crate::event::event("span_end")
+            .field("span", self.path.as_str())
+            .field(
+                "duration_ns",
+                duration.as_nanos().min(u128::from(u64::MAX)) as u64,
+            )
+            .emit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_slash_paths() {
+        assert_eq!(current_path(), None);
+        let outer = Span::enter("simulate");
+        assert_eq!(outer.path(), "simulate");
+        {
+            let inner = Span::enter("scan");
+            assert_eq!(inner.path(), "simulate/scan");
+            assert_eq!(current_path().as_deref(), Some("simulate/scan"));
+        }
+        assert_eq!(current_path().as_deref(), Some("simulate"));
+        drop(outer);
+        assert_eq!(current_path(), None);
+    }
+
+    #[test]
+    fn dropping_records_into_global_registry() {
+        {
+            let _span = Span::enter("obs_span_test_phase");
+        }
+        let h = crate::Registry::global().histogram("span.obs_span_test_phase");
+        assert!(h.count() >= 1);
+    }
+}

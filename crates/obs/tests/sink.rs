@@ -1,0 +1,115 @@
+//! Integration test of the global event sink: JSONL capture, ordering
+//! under concurrent emitters, and report reconstruction from the
+//! recorded file.
+//!
+//! Everything lives in one test function because the sink is
+//! process-global state.
+
+use prvm_obs::{event, flush, init, summarize_events, LogMode, ObsConfig, Span};
+use serde::Value;
+use std::io::BufReader;
+use std::path::PathBuf;
+
+fn temp_events_path() -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("prvm-obs-sink-test-{}.jsonl", std::process::id()));
+    path
+}
+
+#[test]
+fn jsonl_sink_records_ordered_replayable_events() {
+    let path = temp_events_path();
+    init(ObsConfig {
+        log: LogMode::Off,
+        events_path: Some(path.clone()),
+    })
+    .expect("events file opens");
+    assert!(prvm_obs::is_enabled(), "file sink enables emission");
+
+    // A spanned phase plus concurrent emitters.
+    {
+        let _phase = Span::enter("test_phase");
+        event("inside.span").field("marker", 1u64).emit();
+    }
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    event("worker.tick")
+                        .field("thread", t as u64)
+                        .field("i", i)
+                        .emit();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("worker");
+    }
+    event("pagerank.iteration")
+        .field("run", 1u64)
+        .field("iter", 1u64)
+        .field("residual", 0.25f64)
+        .emit();
+    event("pagerank.done")
+        .field("run", 1u64)
+        .field("iterations", 1u64)
+        .field("converged", true)
+        .field("residual", 0.25f64)
+        .emit();
+    flush().expect("flush");
+
+    let text = std::fs::read_to_string(&path).expect("events file readable");
+    let lines: Vec<&str> = text.lines().collect();
+    // span_end + inside.span + 200 ticks + 2 pagerank events.
+    assert_eq!(lines.len(), 204, "every emitted event is on its own line");
+
+    // Each line is a valid envelope and seq is strictly increasing in
+    // file order (delivery is serialized).
+    let mut last_seq = 0;
+    let mut last_ts = 0.0f64;
+    for line in &lines {
+        let entry: Value = serde_json::from_str(line).expect("valid JSON line");
+        let seq = entry.field("seq").and_then(Value::as_u64).expect("seq");
+        let ts = entry.field("ts_s").and_then(Value::as_f64).expect("ts_s");
+        assert!(seq > last_seq, "seq strictly increasing in file order");
+        assert!(ts >= last_ts, "timestamps monotone");
+        last_seq = seq;
+        last_ts = ts;
+        entry.field("name").expect("name");
+        entry.field("fields").expect("fields");
+    }
+
+    // Ambient span attribution: the event inside the span carries its
+    // path, and the span's own end event recorded a duration.
+    let inside: Value = lines
+        .iter()
+        .map(|l| serde_json::from_str(l).expect("valid"))
+        .find(|e: &Value| matches!(e.field("name"), Ok(Value::Str(n)) if n == "inside.span"))
+        .expect("inside.span event present");
+    assert_eq!(
+        inside.field("span").expect("span attr"),
+        &Value::Str("test_phase".into())
+    );
+
+    // The recorded log replays through the report pipeline.
+    let file = std::fs::File::open(&path).expect("reopen");
+    let summary = summarize_events(BufReader::new(file)).expect("log parses");
+    assert_eq!(summary.events, 204);
+    assert_eq!(summary.phases.len(), 1);
+    assert_eq!(summary.phases[0].name, "test_phase");
+    assert!(summary.phases[0].total_ns > 0);
+    assert_eq!(summary.pagerank.len(), 1);
+    assert!(summary.pagerank[0].converged);
+
+    // Re-init with no sink output: emission disables and the builder
+    // becomes a no-op (the file must not grow).
+    init(ObsConfig::default()).expect("re-init");
+    assert!(!prvm_obs::is_enabled());
+    event("after.shutdown").field("x", 1u64).emit();
+    flush().expect("flush");
+    let after = std::fs::read_to_string(&path).expect("events file readable");
+    assert_eq!(after.lines().count(), 204, "closed sink records nothing");
+
+    std::fs::remove_file(&path).ok();
+}

@@ -5,6 +5,7 @@ use crate::config::SimConfig;
 use crate::energy::PowerCurve;
 use crate::workload::Workload;
 use prvm_model::{Cluster, EvictionPolicy, Mhz, PlacementAlgorithm, PmId, VmId};
+use prvm_obs::{event, Span};
 use prvm_traces::Trace;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -93,6 +94,7 @@ fn simulate_impl(
     let scans = sim.scans();
 
     // --- Initial allocation (Algorithm 2 driver) ------------------------
+    let placement_span = Span::enter("placement");
     let mut specs = workload.specs.clone();
     placer.order_batch(&mut specs);
     let traces = workload.draw_traces(specs.len());
@@ -113,6 +115,14 @@ fn simulate_impl(
     }
     let pms_used_initial = cluster.active_pm_count();
     let mut max_active = pms_used_initial;
+    drop(placement_span);
+    prvm_obs::counter!("sim.rejected_vms", rejected as u64);
+    event("sim.placed")
+        .field("algorithm", placer.name())
+        .field("placed", cluster.vm_count())
+        .field("rejected", rejected)
+        .field("active_pms", pms_used_initial)
+        .emit();
 
     // --- Scan loop -------------------------------------------------------
     let mut energy_wh = 0.0f64;
@@ -122,6 +132,7 @@ fn simulate_impl(
     let mut active_samples = 0usize;
 
     for t in 0..scans {
+        let _scan_span = Span::enter("scan");
         // Per-PM aggregate demand, per-VM scan demand, SLO and energy
         // accounting. Each VM's demand is evaluated against its host's
         // core speed (the burst ceiling).
@@ -167,9 +178,9 @@ fn simulate_impl(
             .collect();
         if !overloaded.is_empty() {
             overload_events += 1;
+            prvm_obs::counter!("sim.overload_events");
         }
-        let overloaded_set: std::collections::HashSet<PmId> =
-            overloaded.iter().copied().collect();
+        let overloaded_set: std::collections::HashSet<PmId> = overloaded.iter().copied().collect();
         let scan_overloaded = overloaded.len();
         let migrations_before = migrations;
 
@@ -177,8 +188,7 @@ fn simulate_impl(
             loop {
                 let cap = cluster.pm(src).spec().total_cpu();
                 let current = pm_demand[&src];
-                if current.fraction_of(cap) <= sim.overload_threshold
-                    || cluster.pm(src).is_empty()
+                if current.fraction_of(cap) <= sim.overload_threshold || cluster.pm(src).is_empty()
                 {
                     break;
                 }
@@ -188,8 +198,7 @@ fn simulate_impl(
                     break;
                 };
                 let victim_demand = scan_demand.get(&victim).copied().unwrap_or(Mhz::ZERO);
-                let (_, spec, old_assignment) =
-                    cluster.remove(victim).expect("victim is resident");
+                let (_, spec, old_assignment) = cluster.remove(victim).expect("victim is resident");
 
                 // Destination must not be the source, must not already be
                 // overloaded, and must not *become* overloaded by this VM.
@@ -222,15 +231,27 @@ fn simulate_impl(
             }
         }
         max_active = max_active.max(cluster.active_pm_count());
+        let mean_utilization = if scan_active == 0 {
+            0.0
+        } else {
+            scan_util_sum / scan_active as f64
+        };
+        prvm_obs::counter!("sim.migrations", (migrations - migrations_before) as u64);
+        prvm_obs::gauge!("sim.mean_utilization", mean_utilization);
+        event("sim.scan")
+            .field("scan", t)
+            .field("active_pms", scan_active)
+            .field("mean_utilization", mean_utilization)
+            .field("overloaded_pms", scan_overloaded)
+            .field("migrations", migrations - migrations_before)
+            .field("slo_violations", scan_slo)
+            .field("energy_wh", scan_energy_wh)
+            .emit();
         if let Some(ts) = recorder.as_deref_mut() {
             ts.push(crate::ScanSample {
                 scan: t,
                 active_pms: scan_active,
-                mean_utilization: if scan_active == 0 {
-                    0.0
-                } else {
-                    scan_util_sum / scan_active as f64
-                },
+                mean_utilization,
                 overloaded_pms: scan_overloaded,
                 migrations: migrations - migrations_before,
                 slo_violations: scan_slo,
@@ -239,7 +260,7 @@ fn simulate_impl(
         }
     }
 
-    SimOutcome {
+    let outcome = SimOutcome {
         pms_used: cluster.ever_used_count(),
         pms_used_initial,
         pms_used_max_active: max_active,
@@ -252,7 +273,24 @@ fn simulate_impl(
         },
         overload_events,
         rejected_vms: rejected,
-    }
+    };
+    prvm_obs::gauge!("sim.energy_kwh", outcome.energy_kwh);
+    prvm_obs::gauge!("sim.slo_violation_pct", outcome.slo_violation_pct);
+    prvm_obs::gauge!(
+        "sim.pms_used_max_active",
+        outcome.pms_used_max_active as f64
+    );
+    event("sim.done")
+        .field("scans", scans)
+        .field("pms_used", outcome.pms_used)
+        .field("pms_used_max_active", outcome.pms_used_max_active)
+        .field("energy_kwh", outcome.energy_kwh)
+        .field("migrations", outcome.migrations)
+        .field("slo_violation_pct", outcome.slo_violation_pct)
+        .field("overload_events", outcome.overload_events)
+        .field("rejected_vms", outcome.rejected_vms)
+        .emit();
+    outcome
 }
 
 #[cfg(test)]

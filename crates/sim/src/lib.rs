@@ -35,6 +35,6 @@ pub mod workload;
 pub use config::{SimConfig, WorkloadConfig};
 pub use energy::PowerCurve;
 pub use engine::{simulate, simulate_traced, SimOutcome};
-pub use timeseries::{ScanSample, TimeSeries};
 pub use runner::{ec2_score_book, run_repeats, sweep, Algorithm, MetricSummary};
+pub use timeseries::{ScanSample, TimeSeries};
 pub use workload::{build_cluster, Workload};

@@ -287,7 +287,9 @@ mod tests {
         );
         assert_eq!(rows.len(), 4);
         assert!(rows.iter().any(|r| r.n_vms == 10 && r.algorithm == "FF"));
-        assert!(rows.iter().any(|r| r.n_vms == 20 && r.algorithm == "CompVM"));
+        assert!(rows
+            .iter()
+            .any(|r| r.n_vms == 20 && r.algorithm == "CompVM"));
     }
 
     #[test]

@@ -153,4 +153,37 @@ mod tests {
     fn empty_series_has_no_peak() {
         assert_eq!(TimeSeries::new().peak_scan(), None);
     }
+
+    #[test]
+    fn csv_output_matches_golden() {
+        // Exact golden output: column order and float precision are part
+        // of the format contract (external plotting scripts parse this).
+        let mut ts = TimeSeries::new();
+        ts.push(ScanSample {
+            scan: 0,
+            active_pms: 2,
+            mean_utilization: 0.5,
+            overloaded_pms: 1,
+            migrations: 3,
+            slo_violations: 1,
+            energy_wh: 12.3456,
+        });
+        ts.push(ScanSample {
+            scan: 1,
+            active_pms: 10,
+            mean_utilization: 0.123456789,
+            overloaded_pms: 0,
+            migrations: 0,
+            slo_violations: 0,
+            energy_wh: 0.0,
+        });
+        let mut buf = Vec::new();
+        ts.write_csv(&mut buf).unwrap();
+        let expected = "\
+scan,active_pms,mean_utilization,overloaded_pms,migrations,slo_violations,energy_wh
+0,2,0.500000,1,3,1,12.346
+1,10,0.123457,0,0,0,0.000
+";
+        assert_eq!(String::from_utf8(buf).unwrap(), expected);
+    }
 }

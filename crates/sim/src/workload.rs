@@ -124,7 +124,12 @@ mod tests {
     fn cluster_interleaves_pm_types() {
         let c = build_cluster(&cfg());
         assert_eq!(c.len(), 30);
-        let names: Vec<&str> = c.pms().iter().take(6).map(|p| p.spec().name.as_str()).collect();
+        let names: Vec<&str> = c
+            .pms()
+            .iter()
+            .take(6)
+            .map(|p| p.spec().name.as_str())
+            .collect();
         assert_eq!(names, ["M3", "M3", "C3", "M3", "M3", "C3"]);
         let c3s = c.pms().iter().filter(|p| p.spec().name == "C3").count();
         assert_eq!(c3s, 10);

@@ -3,8 +3,32 @@
 
 use proptest::prelude::*;
 use prvm_baselines::{FirstFit, MinimumMigrationTime};
-use prvm_sim::{build_cluster, simulate, simulate_traced, SimConfig, Workload, WorkloadConfig};
+use prvm_sim::{
+    build_cluster, simulate, simulate_traced, ScanSample, SimConfig, TimeSeries, Workload,
+    WorkloadConfig,
+};
 use prvm_traces::TraceKind;
+
+fn arb_sample() -> impl Strategy<Value = ScanSample> {
+    (
+        (0usize..5000, 0usize..200, 0.0f64..1.0, 0usize..60),
+        (0usize..40, 0usize..60, 0.0f64..5000.0),
+    )
+        .prop_map(
+            |((scan, active_pms, mean_utilization, overloaded_pms), rest)| {
+                let (migrations, slo_violations, energy_wh) = rest;
+                ScanSample {
+                    scan,
+                    active_pms,
+                    mean_utilization,
+                    overloaded_pms,
+                    migrations,
+                    slo_violations,
+                    energy_wh,
+                }
+            },
+        )
+}
 
 fn outcome_for(n_vms: usize, seed: u64, hours: u64, burst: f64) -> prvm_sim::SimOutcome {
     let sim = SimConfig {
@@ -93,5 +117,27 @@ proptest! {
         prop_assert_eq!(o.overload_events, 0);
         prop_assert_eq!(o.slo_violation_pct, 0.0);
         prop_assert_eq!(o.pms_used, o.pms_used_initial);
+    }
+
+    /// Any time series survives a JSON round trip unchanged (the `--csv`
+    /// companion format used for machine-readable dumps).
+    #[test]
+    fn timeseries_round_trips_through_json(
+        samples in prop::collection::vec(arb_sample(), 0..20),
+    ) {
+        let mut ts = TimeSeries::new();
+        for s in &samples {
+            ts.push(*s);
+        }
+        let json = serde_json::to_string(&ts).expect("serializes");
+        let back: TimeSeries = serde_json::from_str(&json).expect("parses");
+        prop_assert_eq!(&back, &ts);
+
+        // A lone sample round-trips too (field-level check).
+        if let Some(first) = samples.first() {
+            let json = serde_json::to_string(first).expect("serializes");
+            let back: ScanSample = serde_json::from_str(&json).expect("parses");
+            prop_assert_eq!(&back, first);
+        }
     }
 }

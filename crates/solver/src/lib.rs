@@ -127,12 +127,7 @@ impl Search<'_> {
             let found = cluster
                 .used_pms()
                 .chain(cluster.unused_pms())
-                .find_map(|pm| {
-                    cluster
-                        .pm(pm)
-                        .first_feasible(vm)
-                        .map(|a| (pm, a))
-                });
+                .find_map(|pm| cluster.pm(pm).first_feasible(vm).map(|a| (pm, a)));
             match found {
                 Some((pm, a)) => {
                     cluster
@@ -153,8 +148,7 @@ impl Search<'_> {
     }
 
     fn out_of_budget(&mut self) -> bool {
-        if self.nodes >= self.config.max_nodes || self.started.elapsed() >= self.config.time_limit
-        {
+        if self.nodes >= self.config.max_nodes || self.started.elapsed() >= self.config.time_limit {
             self.exhausted = false;
             true
         } else {

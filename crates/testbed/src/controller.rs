@@ -62,8 +62,8 @@ pub fn run_testbed(
         .collect();
     placer.order_batch(&mut specs);
     for spec in specs {
-        let trace =
-            generate(TraceKind::GoogleCluster, scans.max(1), &mut rng).scaled(cfg.utilization_scale);
+        let trace = generate(TraceKind::GoogleCluster, scans.max(1), &mut rng)
+            .scaled(cfg.utilization_scale);
         match placer.choose(&mirror, &spec, &|_| false) {
             Some(d) => {
                 let id = mirror
@@ -135,8 +135,7 @@ pub fn run_testbed(
         if !overloaded.is_empty() {
             overload_events += 1;
         }
-        let overloaded_set: std::collections::HashSet<usize> =
-            overloaded.iter().copied().collect();
+        let overloaded_set: std::collections::HashSet<usize> = overloaded.iter().copied().collect();
 
         // Kill-and-restart migrations.
         for src in overloaded {
@@ -172,7 +171,9 @@ pub fn run_testbed(
                     break;
                 };
                 // Kill on the source, restart on the destination.
-                to_nodes[src].send(ToNode::Kill(victim)).expect("agent alive");
+                to_nodes[src]
+                    .send(ToNode::Kill(victim))
+                    .expect("agent alive");
                 let job = match from_nodes.recv().expect("agent alive") {
                     ToController::Killed { job, .. } => job,
                     ToController::Status { .. } => unreachable!("no tick in flight during kill"),

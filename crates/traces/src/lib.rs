@@ -129,7 +129,9 @@ impl TraceLibrary {
     pub fn generate(kind: TraceKind, count: usize, samples: usize, seed: u64) -> Self {
         assert!(count > 0, "library needs at least one trace");
         let mut rng = StdRng::seed_from_u64(seed);
-        let traces = (0..count).map(|_| generate(kind, samples, &mut rng)).collect();
+        let traces = (0..count)
+            .map(|_| generate(kind, samples, &mut rng))
+            .collect();
         Self { kind, traces }
     }
 

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         options.len()
     );
     for (i, opt) in options.iter().enumerate().take(5) {
-        println!("  option {i}: vCPUs -> cores {:?}, disks -> {:?}", opt.cores, opt.disks);
+        println!(
+            "  option {i}: vCPUs -> cores {:?}, disks -> {:?}",
+            opt.cores, opt.disks
+        );
     }
 
     // --- 2. Violations are rejected -----------------------------------------
@@ -71,8 +74,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         catalog::vm_c3_large(),
         catalog::vm_m3_medium(),
     ];
-    let optimal = solve_min_pms(&pms, &vms, &SolverConfig::default())
-        .expect("instance is feasible");
+    let optimal =
+        solve_min_pms(&pms, &vms, &SolverConfig::default()).expect("instance is feasible");
     let mut cluster = Cluster::from_specs(pms);
     let mut placer = PageRankVmPlacer::new(placer_book(&cluster));
     let placed = prvm_model::place_batch(&mut placer, &mut cluster, vms)?;

@@ -6,9 +6,9 @@
 //! cargo run --release --example geni_testbed
 //! ```
 
+use pagerankvm::{PageRankEviction, PageRankVmPlacer};
 use prvm_baselines::{FirstFit, MinimumMigrationTime};
 use prvm_testbed::{run_testbed, TestbedConfig};
-use pagerankvm::{PageRankEviction, PageRankVmPlacer};
 use std::error::Error;
 use std::sync::Arc;
 

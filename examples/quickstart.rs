@@ -34,16 +34,24 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     // 2. Place a mixed batch of 60 VMs on a 40-PM datacenter.
-    let mut cluster = Cluster::from_specs(
-        (0..40).map(|i| if i % 3 == 2 { catalog::pm_c3() } else { catalog::pm_m3() }),
-    );
+    let mut cluster = Cluster::from_specs((0..40).map(|i| {
+        if i % 3 == 2 {
+            catalog::pm_c3()
+        } else {
+            catalog::pm_m3()
+        }
+    }));
     let types = catalog::ec2_vm_types();
     let requests: Vec<_> = (0..60).map(|i| types[i % types.len()].clone()).collect();
 
     let mut placer = PageRankVmPlacer::new(book);
     let ids = place_batch(&mut placer, &mut cluster, requests)?;
 
-    println!("\nplaced {} VMs on {} PMs:", ids.len(), cluster.active_pm_count());
+    println!(
+        "\nplaced {} VMs on {} PMs:",
+        ids.len(),
+        cluster.active_pm_count()
+    );
     for pm_id in cluster.used_pms() {
         let pm = cluster.pm(pm_id);
         println!(

@@ -2,9 +2,7 @@
 //! construction through placement, simulation, testbed emulation and the
 //! exact solver.
 
-use pagerankvm::{
-    GraphLimits, PageRankConfig, PageRankEviction, PageRankVmPlacer, ScoreBook,
-};
+use pagerankvm::{GraphLimits, PageRankConfig, PageRankEviction, PageRankVmPlacer, ScoreBook};
 use prvm_baselines::{CompVm, FfdSum, FirstFit, MinimumMigrationTime};
 use prvm_model::{catalog, place_batch, Cluster, PlacementAlgorithm, Quantizer};
 use prvm_sim::{build_cluster, simulate, Algorithm, SimConfig, Workload, WorkloadConfig};
@@ -96,12 +94,18 @@ fn pagerankvm_initial_allocation_is_competitive() {
     // PMs than FF/FFDSum for a mixed workload.
     let book = coarse_book();
     let types = catalog::ec2_vm_types();
-    let vms: Vec<_> = (0..90).map(|i| types[(i * 7) % types.len()].clone()).collect();
+    let vms: Vec<_> = (0..90)
+        .map(|i| types[(i * 7) % types.len()].clone())
+        .collect();
 
     let count = |mut algo: Box<dyn PlacementAlgorithm>| -> usize {
-        let mut cluster = Cluster::from_specs(
-            (0..90).map(|i| if i % 3 == 2 { catalog::pm_c3() } else { catalog::pm_m3() }),
-        );
+        let mut cluster = Cluster::from_specs((0..90).map(|i| {
+            if i % 3 == 2 {
+                catalog::pm_c3()
+            } else {
+                catalog::pm_m3()
+            }
+        }));
         place_batch(algo.as_mut(), &mut cluster, vms.clone()).expect("pool big enough");
         cluster.active_pm_count()
     };
@@ -131,11 +135,14 @@ fn heuristics_never_beat_the_exact_optimum() {
     ];
     let book = coarse_book();
     for vms in vm_sets {
-        let exact = solve_min_pms(&pms, &vms, &SolverConfig::default())
-            .expect("feasible instance");
+        let exact = solve_min_pms(&pms, &vms, &SolverConfig::default()).expect("feasible instance");
         assert!(exact.optimal, "solver budget should suffice at this size");
 
-        for algo in [Algorithm::PageRankVm, Algorithm::FirstFit, Algorithm::CompVm] {
+        for algo in [
+            Algorithm::PageRankVm,
+            Algorithm::FirstFit,
+            Algorithm::CompVm,
+        ] {
             let mut cluster = Cluster::from_specs(pms.clone());
             let (mut placer, _) = algo.build(&book, 1);
             place_batch(placer.as_mut(), &mut cluster, vms.clone()).expect("fits");

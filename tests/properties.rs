@@ -4,9 +4,9 @@
 
 use pagerankvm::{pagerank, GraphLimits, Orientation, PageRankConfig, ProfileGraph};
 use pagerankvm::{ProfileSpace, ProfileVm};
+use proptest::prelude::*;
 use prvm_model::combin::{distinct_placements, first_feasible};
 use prvm_traces::stats::Percentiles;
-use proptest::prelude::*;
 
 /// Random small placement instances: dimensions with usage <= cap, plus a
 /// demand multiset.

@@ -1,0 +1,271 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! groups, `bench_function` / `bench_with_input`, `sample_size` and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Mirrors upstream's execution model for `harness = false` targets:
+//! under `cargo bench` (which passes `--bench`) each benchmark is
+//! warmed up and measured over `sample_size` samples, reporting mean /
+//! min / max time per iteration; under `cargo test` each benchmark
+//! body runs once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as upstream renders it.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    /// Mean/min/max nanoseconds per iteration, filled in by [`Bencher::iter`].
+    result: Option<(f64, f64, f64)>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// One pass per benchmark (`cargo test` smoke mode).
+    Test,
+    /// Warm up, then measure (`cargo bench`).
+    Measure,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record its time per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.mode == Mode::Test {
+            black_box(routine());
+            return;
+        }
+        // Warm up and size one sample to ~5ms.
+        let warmup = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters_per_sample = ((0.005 / per_iter) as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        self.result = Some((mean * 1e9, min * 1e9, max * 1e9));
+    }
+}
+
+/// Render nanoseconds with an adaptive unit, upstream-style.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measurement samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let full = format!("{}/{}", self.name, id.id);
+        match bencher.result {
+            Some((mean, min, max)) => println!(
+                "{full:<50} time: [{} {} {}]",
+                fmt_ns(min),
+                fmt_ns(mean),
+                fmt_ns(max)
+            ),
+            None if self.criterion.mode == Mode::Test => println!("{full:<50} ok (test mode)"),
+            None => println!("{full:<50} skipped (no iter call)"),
+        }
+    }
+
+    /// End the group (kept for API compatibility; reporting is eager).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes harness = false targets with `--bench`;
+        // `cargo test` does not. Mirror upstream's mode detection.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            mode: if measure { Mode::Measure } else { Mode::Test },
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            criterion: self,
+        }
+    }
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_routine_once() {
+        let mut c = Criterion { mode: Mode::Test };
+        let mut calls = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("count", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut c = Criterion {
+            mode: Mode::Measure,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        let mut bencher = Bencher {
+            mode: Mode::Measure,
+            sample_size: 5,
+            result: None,
+        };
+        bencher.iter(|| black_box(2u64).pow(10));
+        let (mean, min, max) = bencher.result.expect("measured");
+        assert!(min <= mean && mean <= max);
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_upstream() {
+        assert_eq!(BenchmarkId::new("uniform_cap4", 6).id, "uniform_cap4/6");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn nanosecond_formatting_picks_units() {
+        assert_eq!(fmt_ns(12.5), "12.50 ns");
+        assert_eq!(fmt_ns(2_500.0), "2.50 µs");
+        assert_eq!(fmt_ns(3_000_000.0), "3.00 ms");
+    }
+}

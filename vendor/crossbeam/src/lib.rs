@@ -1,0 +1,38 @@
+//! Offline stand-in for the slice of `crossbeam` this workspace uses:
+//! `crossbeam::channel::{unbounded, Sender, Receiver}`. Backed by
+//! `std::sync::mpsc`, whose `Sender` has been `Clone` since 1.0 —
+//! enough for the testbed's fan-out/fan-in pattern, minus crossbeam's
+//! `select!` and MPMC receivers, which nothing here needs.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, Sender};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Create an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_in_from_cloned_senders() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        drop(tx);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got: Vec<_> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Distribution trait and uniform-range sampling.
+
+use crate::RngCore;
+
+/// A probability distribution over `T`.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// A uniform draw from `[0, 1)` with 53 bits of precision.
+pub fn u01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 2^-53; the top 53 bits of the word are uniform.
+    (rng.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+}
+
+/// Uniform range sampling (`rng.gen_range(lo..hi)`).
+pub mod uniform {
+    use super::u01;
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range usable with [`crate::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draw one uniform value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Unbiased-enough uniform draw from `[0, span)` via the widening
+    /// multiply trick (Lemire without the rejection step; bias is
+    /// `< span / 2^64`, irrelevant at simulation scales).
+    fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+
+    macro_rules! int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + below(rng, span) as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as u64).wrapping_sub(lo as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + below(rng, span + 1) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range!(u16, u32, u64, usize);
+
+    impl SampleRange<f64> for Range<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            self.start + u01(rng) * (self.end - self.start)
+        }
+    }
+
+    impl SampleRange<f64> for RangeInclusive<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "cannot sample empty range");
+            lo + u01(rng) * (hi - lo)
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses. The build container has no crates.io access, so the workspace
+//! vendors a deterministic, dependency-free implementation with the same
+//! module paths: [`Rng`], [`SeedableRng`], [`rngs::StdRng`],
+//! [`seq::IteratorRandom`] and [`distributions::Distribution`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — not the
+//! upstream ChaCha12, so seeded streams differ from crates.io `rand`, but
+//! every property the workspace relies on (determinism under a seed,
+//! uniformity, cheap forking) holds.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+pub use distributions::uniform::SampleRange;
+
+/// Minimal core trait: a source of uniformly random 64-bit words.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform value in `range` (`Range` or `RangeInclusive`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, U>(&mut self, range: U) -> T
+    where
+        U: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        distributions::u01(self) < p
+    }
+
+    /// Draw one value from a distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding entry point; only the `seed_from_u64` constructor is needed
+/// here.
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a full generator state from one word.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u64 = rng.gen_range(5..=5);
+            assert_eq!(w, 5);
+            let f: f64 = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.1)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn choose_multiple_draws_without_replacement() {
+        use super::seq::IteratorRandom;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut picks = (0..10).choose_multiple(&mut rng, 4);
+        picks.sort_unstable();
+        picks.dedup();
+        assert_eq!(picks.len(), 4);
+        assert!(picks.iter().all(|p| (0..10).contains(p)));
+        // Requesting more than available yields everything.
+        let all = (0..3).choose_multiple(&mut rng, 10);
+        assert_eq!(all.len(), 3);
+    }
+}

@@ -1,0 +1,40 @@
+//! Sequence sampling helpers.
+
+use crate::{Rng, RngCore};
+
+/// Random sampling from iterators.
+pub trait IteratorRandom: Iterator + Sized {
+    /// Draw up to `amount` distinct elements by reservoir sampling.
+    /// Returns fewer when the iterator is shorter than `amount`; order is
+    /// unspecified.
+    fn choose_multiple<R: RngCore + ?Sized>(
+        mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> Vec<Self::Item> {
+        let mut reservoir: Vec<Self::Item> = Vec::with_capacity(amount);
+        for _ in 0..amount {
+            match self.next() {
+                Some(item) => reservoir.push(item),
+                None => return reservoir,
+            }
+        }
+        if amount == 0 {
+            return reservoir;
+        }
+        for (seen, item) in (amount + 1..).zip(self) {
+            let j = rng.gen_range(0..seen);
+            if j < amount {
+                reservoir[j] = item;
+            }
+        }
+        reservoir
+    }
+
+    /// Draw one element uniformly, or `None` on an empty iterator.
+    fn choose<R: RngCore + ?Sized>(self, rng: &mut R) -> Option<Self::Item> {
+        self.choose_multiple(rng, 1).pop()
+    }
+}
+
+impl<I: Iterator> IteratorRandom for I {}

@@ -1,0 +1,161 @@
+//! Offline stand-in for the subset of `rand_distr` 0.4 this workspace
+//! uses: [`StandardNormal`], [`LogNormal`] and [`Gamma`]. Samplers are
+//! textbook (Box–Muller, Marsaglia–Tsang) rather than the ziggurat
+//! implementations upstream, but match the same distributions.
+
+use rand::distributions::u01;
+use rand::RngCore;
+use std::fmt;
+
+pub use rand::distributions::Distribution;
+
+/// Parameter error for distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The standard normal distribution `N(0, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; the cosine branch only (stateless sampler).
+        let u1 = u01(rng).max(f64::MIN_POSITIVE);
+        let u2 = u01(rng);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Create from the mean and standard deviation of the underlying
+    /// normal.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `sigma` is negative or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return Err(Error("LogNormal requires finite mu and sigma >= 0"));
+        }
+        Ok(Self { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * StandardNormal.sample(rng)).exp()
+    }
+}
+
+/// The gamma distribution with shape `k` and scale `theta`.
+#[derive(Debug, Clone, Copy)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Create from shape and scale.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless both parameters are finite and positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, Error> {
+        if !(shape > 0.0 && shape.is_finite() && scale > 0.0 && scale.is_finite()) {
+            return Err(Error("Gamma requires finite shape > 0 and scale > 0"));
+        }
+        Ok(Self { shape, scale })
+    }
+
+    /// Marsaglia–Tsang for shape >= 1.
+    fn sample_shape_ge1<R: RngCore + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = StandardNormal.sample(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u = u01(rng).max(f64::MIN_POSITIVE);
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v;
+            }
+        }
+    }
+}
+
+impl Distribution<f64> for Gamma {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let unit = if self.shape >= 1.0 {
+            Self::sample_shape_ge1(self.shape, rng)
+        } else {
+            // Boost: Gamma(k) = Gamma(k + 1) * U^(1/k) for k < 1.
+            let boost = u01(rng).max(f64::MIN_POSITIVE).powf(1.0 / self.shape);
+            Self::sample_shape_ge1(self.shape + 1.0, rng) * boost
+        };
+        unit * self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_of(dist: &impl Distribution<f64>, n: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(42);
+        (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn standard_normal_is_centered() {
+        let m = mean_of(&StandardNormal, 20_000);
+        assert!(m.abs() < 0.05, "{m}");
+    }
+
+    #[test]
+    fn gamma_mean_is_shape_times_scale() {
+        let g = Gamma::new(2.0, 0.05).unwrap();
+        let m = mean_of(&g, 20_000);
+        assert!((m - 0.10).abs() < 0.01, "{m}");
+        // Sub-one shapes use the boost path.
+        let g = Gamma::new(0.5, 2.0).unwrap();
+        let m = mean_of(&g, 20_000);
+        assert!((m - 1.0).abs() < 0.1, "{m}");
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let d = LogNormal::new(-1.2, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<f64> = (0..9_999).map(|_| d.sample(&mut rng)).collect();
+        v.sort_by(f64::total_cmp);
+        let median = v[v.len() / 2];
+        assert!((median - (-1.2f64).exp()).abs() < 0.03, "{median}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, -0.1).is_err());
+    }
+}

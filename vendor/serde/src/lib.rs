@@ -1,0 +1,446 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! Instead of upstream's visitor-based `Serializer`/`Deserializer`
+//! pair, everything funnels through a single in-memory [`Value`] tree:
+//! [`Serialize`] renders into it and [`Deserialize`] reads back out of
+//! it. The companion `serde_json` crate handles the text encoding. The
+//! derive macros come from the sibling `serde_derive` crate and target
+//! exactly this trait shape.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically typed data tree, the interchange format between
+/// [`Serialize`], [`Deserialize`] and the JSON encoder.
+///
+/// Objects keep insertion order (a `Vec` of pairs, not a map) so
+/// serialized output follows field declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Short tag for error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Look up a field of an object by name.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::custom(format!("missing field `{name}`"))),
+            other => Err(Error::custom(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Numeric view as `u64`, accepting any integer representation.
+    pub fn as_u64(&self) -> Result<u64, Error> {
+        match *self {
+            Value::UInt(n) => Ok(n),
+            Value::Int(n) if n >= 0 => Ok(n as u64),
+            Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Ok(f as u64),
+            ref other => Err(Error::custom(format!(
+                "expected unsigned integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Numeric view as `i64`, accepting any integer representation.
+    pub fn as_i64(&self) -> Result<i64, Error> {
+        match *self {
+            Value::Int(n) => Ok(n),
+            Value::UInt(n) if n <= i64::MAX as u64 => Ok(n as i64),
+            Value::Float(f)
+                if f.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&f) =>
+            {
+                Ok(f as i64)
+            }
+            ref other => Err(Error::custom(format!(
+                "expected integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Numeric view as `f64`. `Null` reads as NaN so that NaN survives a
+    /// round-trip (JSON has no NaN literal; serialization emits null).
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match *self {
+            Value::Float(f) => Ok(f),
+            Value::Int(n) => Ok(n as f64),
+            Value::UInt(n) => Ok(n as f64),
+            Value::Null => Ok(f64::NAN),
+            ref other => Err(Error::custom(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn as_array(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type renderable into a [`Value`] tree.
+pub trait Serialize {
+    /// Render `self` as a data tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type reconstructible from a [`Value`] tree.
+///
+/// The lifetime parameter exists only for signature compatibility with
+/// upstream bounds like `for<'de> Deserialize<'de>`; nothing borrows
+/// from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuild `Self` from a data tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value.as_u64()?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value.as_i64()?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let f = *self as f64;
+                // JSON has no NaN/Inf literal; mirror upstream serde_json
+                // by emitting null.
+                if f.is_finite() { Value::Float(f) } else { Value::Null }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                Ok(value.as_f64()? as $t)
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_array()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<[T]> {
+    fn to_value(&self) -> Value {
+        self.as_ref().to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<[T]> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(value).map(Vec::into_boxed_slice)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(value)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, found {got}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value.as_array()?;
+                let want = [$($idx),+].len();
+                if items.len() != want {
+                    return Err(Error::custom(format!(
+                        "expected tuple of length {want}, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Maps serialize as arrays of `[key, value]` pairs; keys in this
+/// workspace are newtype ids, not strings, so a JSON object keyed by
+/// string is not representable.
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_array()?.iter().map(<(K, V)>::from_value).collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Eq + std::hash::Hash, V: Deserialize<'de>> Deserialize<'de>
+    for HashMap<K, V>
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_array()?.iter().map(<(K, V)>::from_value).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<'de, T>(input: &T) -> T
+    where
+        T: Serialize + Deserialize<'de>,
+    {
+        T::from_value(&input.to_value()).expect("round trip")
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(round_trip(&42u64), 42);
+        assert_eq!(round_trip(&-7i64), -7);
+        assert_eq!(round_trip(&1.5f64), 1.5);
+        assert!(round_trip(&true));
+        assert_eq!(round_trip(&String::from("pm-3")), "pm-3");
+        assert!(round_trip(&f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        assert_eq!(round_trip(&vec![1u16, 2, 3]), vec![1, 2, 3]);
+        assert_eq!(round_trip(&[0.5f64; 6]), [0.5; 6]);
+        assert_eq!(round_trip(&Some(9usize)), Some(9));
+        assert_eq!(round_trip(&None::<u32>), None);
+        let map: BTreeMap<u64, (u32, bool)> = [(4, (1, true)), (7, (0, false))].into();
+        assert_eq!(round_trip(&map), map);
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        assert!(u16::from_value(&Value::UInt(70_000)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+        assert!(<[f64; 2]>::from_value(&Value::Array(vec![Value::Float(1.0)])).is_err());
+        assert!(bool::from_value(&Value::Str("yes".into())).is_err());
+    }
+
+    #[test]
+    fn field_lookup_reports_missing() {
+        let obj = Value::Object(vec![("scan".into(), Value::UInt(3))]);
+        assert_eq!(obj.field("scan").unwrap(), &Value::UInt(3));
+        let err = obj.field("energy_wh").unwrap_err();
+        assert!(err.to_string().contains("energy_wh"));
+    }
+}

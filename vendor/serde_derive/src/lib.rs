@@ -1,0 +1,250 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the sibling offline `serde` crate — no `syn`/`quote`, just direct
+//! token-stream walking. Supports exactly the shapes this workspace
+//! derives on: structs with named fields, tuple structs (a single
+//! field acts as a transparent newtype, which also covers
+//! `#[serde(transparent)]`), and enums with unit variants only.
+//! Generic types are rejected with a compile-time panic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shapes we know how to derive for.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Consume leading attributes (`#[...]`) from the front of `tokens`.
+fn skip_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(_)) => {}
+            other => panic!("malformed attribute: expected [...] after #, found {other:?}"),
+        }
+    }
+}
+
+/// Consume an optional `pub` / `pub(...)` visibility prefix.
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Split a delimited group body on top-level commas, tracking angle
+/// bracket depth so `BTreeMap<K, V>` stays one chunk.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().expect("non-empty").push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Field name of a named-struct field chunk: the first ident after
+/// attributes and visibility.
+fn field_name(chunk: Vec<TokenTree>) -> String {
+    let mut tokens = chunk.into_iter().peekable();
+    skip_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+    match tokens.next() {
+        Some(TokenTree::Ident(name)) => name.to_string(),
+        other => panic!("expected field name, found {other:?}"),
+    }
+}
+
+/// Variant name of a unit-enum variant chunk; panics on data variants.
+fn variant_name(chunk: Vec<TokenTree>) -> String {
+    let mut tokens = chunk.into_iter().peekable();
+    skip_attrs(&mut tokens);
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(name)) => name.to_string(),
+        other => panic!("expected enum variant, found {other:?}"),
+    };
+    if let Some(extra) = tokens.next() {
+        panic!("derive supports unit enum variants only; `{name}` carries {extra:?}");
+    }
+    name
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(kw)) => kw.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(name)) => name.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive does not support generic type `{name}`");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+                let fields = split_top_level(body.stream())
+                    .into_iter()
+                    .map(field_name)
+                    .collect();
+                Item::NamedStruct { name, fields }
+            }
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_top_level(body.stream()).len();
+                assert!(arity > 0, "cannot derive for empty tuple struct `{name}`");
+                Item::TupleStruct { name, arity }
+            }
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+                let variants = split_top_level(body.stream())
+                    .into_iter()
+                    .map(variant_name)
+                    .collect();
+                Item::UnitEnum { name, variants }
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other} {name}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: String = (0..arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(String::from(match self {{ {arms} }}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(value.field(\"{f}\")?)?,"))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                     Ok({name}(::serde::Deserialize::from_value(value)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let fields: String = (0..arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Array(items) if items.len() == {arity} =>\n\
+                                 Ok({name}({fields})),\n\
+                             _ => Err(::serde::Error::custom(\n\
+                                 \"expected array of length {arity} for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(::serde::Error::custom(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             _ => Err(::serde::Error::custom(\"expected string for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse().expect("generated Deserialize impl parses")
+}

@@ -39,11 +39,7 @@ impl PlacementAlgorithm for FfdSum {
     }
 
     fn order_batch(&self, vms: &mut [VmSpec]) {
-        vms.sort_by(|a, b| {
-            self.size(b)
-                .partial_cmp(&self.size(a))
-                .expect("sizes are finite")
-        });
+        vms.sort_by(|a, b| self.size(b).total_cmp(&self.size(a)));
     }
 
     fn choose(

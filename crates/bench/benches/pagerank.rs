@@ -26,7 +26,7 @@ fn bench_graph_build(c: &mut Criterion) {
                     paper_vm_set(),
                     GraphLimits::default(),
                 )
-                .unwrap()
+                .expect("graph builds within limits")
             });
         });
     }
@@ -39,7 +39,7 @@ fn bench_pagerank(c: &mut Criterion) {
         paper_vm_set(),
         GraphLimits::default(),
     )
-    .unwrap();
+    .expect("graph builds within limits");
     let mut g = c.benchmark_group("pagerank");
     g.bench_function("iterate_8dim_cap4", |b| {
         b.iter(|| pagerank(&graph, &PageRankConfig::default()));
@@ -73,7 +73,7 @@ fn bench_score_book(c: &mut Criterion) {
                     &PageRankConfig::default(),
                     GraphLimits::default(),
                 )
-                .unwrap()
+                .expect("graph builds within limits")
             });
         });
     }

@@ -27,7 +27,7 @@ fn loaded_cluster(n: usize) -> Cluster {
 }
 
 fn bench_choose(c: &mut Criterion) {
-    let book = ec2_score_book();
+    let book = ec2_score_book().expect("EC2 catalog graph builds");
     let mut g = c.benchmark_group("choose");
     g.sample_size(30);
     for n in [100usize, 400] {
@@ -54,7 +54,7 @@ fn bench_choose(c: &mut Criterion) {
 }
 
 fn bench_batch_placement(c: &mut Criterion) {
-    let book = ec2_score_book();
+    let book = ec2_score_book().expect("EC2 catalog graph builds");
     let mut g = c.benchmark_group("place_batch_200vms");
     g.sample_size(10);
     let types = catalog::ec2_vm_types();
@@ -64,7 +64,7 @@ fn bench_batch_placement(c: &mut Criterion) {
             b.iter(|| {
                 let mut cluster = Cluster::homogeneous(catalog::pm_m3(), 200);
                 let (mut placer, _) = algo.build(&book, 1);
-                place_batch(placer.as_mut(), &mut cluster, vms.clone()).unwrap();
+                place_batch(placer.as_mut(), &mut cluster, vms.clone()).expect("pool fits batch");
                 cluster.active_pm_count()
             });
         });

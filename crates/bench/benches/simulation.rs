@@ -10,7 +10,7 @@ use prvm_traces::TraceKind;
 use std::sync::Arc;
 
 fn bench_simulation(c: &mut Criterion) {
-    let book = ec2_score_book();
+    let book = ec2_score_book().expect("EC2 catalog graph builds");
     let sim = SimConfig {
         horizon_s: 3600,
         ..SimConfig::default()

@@ -13,7 +13,7 @@ use std::time::Instant;
 
 fn main() {
     let args = CliArgs::from_env();
-    let book = ec2_score_book();
+    let book = ec2_score_book().expect("EC2 catalog graph builds");
     let types = catalog::ec2_vm_types();
 
     println!(

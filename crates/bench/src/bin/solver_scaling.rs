@@ -11,7 +11,7 @@ use prvm_solver::{solve_min_pms, SolverConfig};
 use std::time::{Duration, Instant};
 
 fn main() {
-    let book = ec2_score_book();
+    let book = ec2_score_book().expect("EC2 catalog graph builds");
     let types = catalog::ec2_vm_types();
 
     for (family, pick) in [

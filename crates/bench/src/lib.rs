@@ -50,52 +50,61 @@ impl CliArgs {
     /// Parse `std::env::args()`-style flags: `--repeats N`, `--seed N`,
     /// `--vms a,b,c`, `--jobs a,b,c`, `--fresh`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a usage message on malformed flags.
-    #[must_use]
-    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+    /// Returns a usage message on unknown flags, missing values or
+    /// unparseable numbers.
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
         let mut out = Self::default();
         let mut it = args.into_iter();
         let usage = "usage: [--repeats N] [--seed N] [--vms a,b,c] [--jobs a,b,c] [--fresh]";
+        let int_list = |text: String| -> Result<Vec<usize>, String> {
+            text.split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("{s:?} is not a count; {usage}"))
+                })
+                .collect()
+        };
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| -> String {
+            let mut value = |name: &str| -> Result<String, String> {
                 it.next()
-                    .unwrap_or_else(|| panic!("{name} needs a value; {usage}"))
+                    .ok_or_else(|| format!("{name} needs a value; {usage}"))
             };
             match flag.as_str() {
-                "--repeats" => out.repeats = value("--repeats").parse().expect(usage),
-                "--seed" => out.seed = value("--seed").parse().expect(usage),
-                "--vms" => {
-                    out.vms = value("--vms")
-                        .split(',')
-                        .map(|s| s.trim().parse().expect(usage))
-                        .collect();
+                "--repeats" => {
+                    out.repeats = value("--repeats")?
+                        .parse()
+                        .map_err(|_| format!("--repeats wants an integer; {usage}"))?;
                 }
-                "--jobs" => {
-                    out.jobs = value("--jobs")
-                        .split(',')
-                        .map(|s| s.trim().parse().expect(usage))
-                        .collect();
+                "--seed" => {
+                    out.seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| format!("--seed wants an integer; {usage}"))?;
                 }
+                "--vms" => out.vms = int_list(value("--vms")?)?,
+                "--jobs" => out.jobs = int_list(value("--jobs")?)?,
                 "--fresh" => out.fresh = true,
-                other => panic!("unknown flag {other}; {usage}"),
+                other => return Err(format!("unknown flag {other}; {usage}")),
             }
         }
-        out
+        Ok(out)
     }
 
-    /// Parse the process arguments (skipping argv\[0\]).
+    /// Parse the process arguments (skipping argv\[0\]), exiting with the
+    /// usage message on malformed flags.
     #[must_use]
     pub fn from_env() -> Self {
-        Self::parse(std::env::args().skip(1))
+        Self::try_parse(std::env::args().skip(1)).unwrap_or_else(|message| {
+            eprintln!("{message}");
+            std::process::exit(2);
+        })
     }
 }
 
 fn cache_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/prvm-results");
-    std::fs::create_dir_all(&dir).expect("create cache dir");
-    dir
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/prvm-results")
 }
 
 fn load_cache<T: for<'de> Deserialize<'de>>(name: &str) -> Option<T> {
@@ -104,11 +113,25 @@ fn load_cache<T: for<'de> Deserialize<'de>>(name: &str) -> Option<T> {
     serde_json::from_slice(&bytes).ok()
 }
 
+/// Best-effort: an unwritable cache only costs recomputation next run.
 fn store_cache<T: Serialize>(name: &str, value: &T) {
-    let path = cache_dir().join(name);
-    let json = serde_json::to_vec_pretty(value).expect("serializable results");
-    std::fs::write(&path, json).expect("write cache");
-    eprintln!("[cache] wrote {}", path.display());
+    let dir = cache_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("[cache] cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    let json = match serde_json::to_vec_pretty(value) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("[cache] cannot serialize {name}: {e}");
+            return;
+        }
+    };
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("[cache] wrote {}", path.display()),
+        Err(e) => eprintln!("[cache] cannot write {}: {e}", path.display()),
+    }
 }
 
 /// The full simulation sweep behind Figs. 3, 5, 6 and 7: both traces, the
@@ -144,7 +167,8 @@ pub fn sim_sweep(args: &CliArgs) -> SimSweep {
     }
     let t0 = Instant::now();
     eprintln!("[sweep] building Profile-PageRank score tables…");
-    let book = prvm_sim::ec2_score_book();
+    let book = prvm_sim::ec2_score_book()
+        .unwrap_or_else(|e| panic!("EC2 catalog graph build failed: {e}"));
     let sim = SimConfig::default();
     let mut rows = Vec::new();
     for kind in [TraceKind::PlanetLab, TraceKind::GoogleCluster] {
@@ -235,7 +259,10 @@ pub fn testbed_sweep(args: &CliArgs) -> TestbedSweep {
     }
     let cfg = TestbedConfig::default();
     eprintln!("[testbed] building score table for the GENI node…");
-    let book = Arc::new(cfg.score_book().expect("testbed graph builds"));
+    let book = Arc::new(
+        cfg.score_book()
+            .unwrap_or_else(|e| panic!("testbed graph build failed: {e}")),
+    );
     let mut rows = Vec::new();
     for &jobs in &args.jobs {
         for algo in Algorithm::PAPER_SET {
@@ -385,17 +412,18 @@ mod tests {
 
     #[test]
     fn cli_defaults() {
-        let a = CliArgs::parse(std::iter::empty());
+        let a = CliArgs::try_parse(std::iter::empty()).unwrap();
         assert_eq!(a, CliArgs::default());
     }
 
     #[test]
     fn cli_parses_flags() {
-        let a = CliArgs::parse(
+        let a = CliArgs::try_parse(
             ["--repeats", "9", "--seed", "7", "--vms", "10,20", "--fresh"]
                 .into_iter()
                 .map(String::from),
-        );
+        )
+        .unwrap();
         assert_eq!(a.repeats, 9);
         assert_eq!(a.seed, 7);
         assert_eq!(a.vms, vec![10, 20]);
@@ -403,9 +431,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown flag")]
-    fn cli_rejects_unknown_flags() {
-        let _ = CliArgs::parse(["--bogus".to_string()]);
+    fn cli_rejects_malformed_flags() {
+        let err = CliArgs::try_parse(["--bogus".to_string()]).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+        let err = CliArgs::try_parse(["--vms".to_string()]).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+        let err = CliArgs::try_parse(["--vms".to_string(), "1,x".to_string()]).unwrap_err();
+        assert!(err.contains("not a count"), "{err}");
+        let err = CliArgs::try_parse(["--seed".to_string(), "abc".to_string()]).unwrap_err();
+        assert!(err.contains("integer"), "{err}");
     }
 
     #[test]

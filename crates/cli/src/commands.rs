@@ -1,12 +1,15 @@
 //! Subcommand implementations and minimal flag parsing.
 
 use pagerankvm::{
-    paths_to_best, rank_stats, top_profiles, GraphLimits, PageRankConfig, ProfileSpace, ProfileVm,
-    ScoreTable,
+    audit, paths_to_best, rank_stats, top_profiles, AuditReport, GraphLimits, PageRankConfig,
+    ProfileSpace, ProfileVm, ScoreTable,
 };
-use prvm_model::catalog;
+use prvm_model::{catalog, Assignment};
 use prvm_obs::{LogMode, ObsConfig, Registry, Span};
-use prvm_sim::{build_cluster, simulate_traced, Algorithm, SimConfig, Workload, WorkloadConfig};
+use prvm_sim::{
+    build_cluster, simulate_traced, simulate_with_audit, Algorithm, SimConfig, Workload,
+    WorkloadConfig,
+};
 use prvm_testbed::{run_testbed, TestbedConfig};
 use prvm_traces::TraceKind;
 use std::io::Write as _;
@@ -31,6 +34,11 @@ commands:
   report    FILE.jsonl
             summarize a recorded event log: phase wall-time breakdown,
             PageRank convergence, event counts
+  audit     [--vms N] [--algo NAME] [--seed N] [--hours H] [--self-test]
+            audit the score book (graph edges, score distributions) and a
+            sim run (capacity, anti-collocation after every step); exits
+            non-zero on any violation. --self-test injects deliberate
+            violations to prove the checker fires
 
 observability (place, simulate, testbed):
   --log off|pretty|json   stream events to stderr (default off)
@@ -44,14 +52,14 @@ worstfit";
 /// Install the event sink from `--log`/`--events` and hand back the
 /// `--metrics` path for [`obs_finish`].
 fn obs_setup(f: &[(String, Option<String>)]) -> Result<Option<String>, String> {
-    let log = match get(f, "log") {
+    let log = match value_of(f, "log")? {
         None => LogMode::Off,
         Some(v) => LogMode::parse(v)
             .ok_or_else(|| format!("bad value for --log: {v} (off|pretty|json)"))?,
     };
-    let events_path = get(f, "events").map(std::path::PathBuf::from);
+    let events_path = value_of(f, "events")?.map(std::path::PathBuf::from);
     prvm_obs::init(ObsConfig { log, events_path }).map_err(|e| format!("--events: {e}"))?;
-    Ok(get(f, "metrics").map(str::to_owned))
+    Ok(value_of(f, "metrics")?.map(str::to_owned))
 }
 
 /// Flush the event sink and write the `--metrics` JSON dump, if asked.
@@ -76,7 +84,7 @@ fn flags(args: &[String]) -> Result<Vec<(String, Option<String>)>, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got `{a}`"))?;
         let value = match it.peek() {
-            Some(v) if !v.starts_with("--") => Some(it.next().expect("peeked").clone()),
+            Some(v) if !v.starts_with("--") => it.next().cloned(),
             _ => None,
         };
         out.push((key.to_string(), value));
@@ -84,11 +92,32 @@ fn flags(args: &[String]) -> Result<Vec<(String, Option<String>)>, String> {
     Ok(out)
 }
 
-fn get<'a>(flags: &'a [(String, Option<String>)], key: &str) -> Option<&'a str> {
-    flags
-        .iter()
-        .find(|(k, _)| k == key)
-        .and_then(|(_, v)| v.as_deref())
+/// Reject flags this command does not understand (catches typos like
+/// `--vmz 10`, which would otherwise be silently ignored).
+fn known(flags: &[(String, Option<String>)], accepted: &[&str]) -> Result<(), String> {
+    for (k, _) in flags {
+        if !accepted.iter().any(|a| a == k) {
+            return Err(format!("unknown flag --{k}"));
+        }
+    }
+    Ok(())
+}
+
+/// Look up a flag's value; a flag present *without* a value is a usage
+/// error rather than silently equal to the flag being absent.
+fn value_of<'a>(
+    flags: &'a [(String, Option<String>)],
+    key: &str,
+) -> Result<Option<&'a str>, String> {
+    match flags.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, Some(v))) => Ok(Some(v)),
+        Some((_, None)) => Err(format!("--{key} needs a value")),
+    }
+}
+
+fn has(flags: &[(String, Option<String>)], key: &str) -> bool {
+    flags.iter().any(|(k, _)| k == key)
 }
 
 fn parse<T: std::str::FromStr>(
@@ -96,14 +125,14 @@ fn parse<T: std::str::FromStr>(
     key: &str,
     default: T,
 ) -> Result<T, String> {
-    match get(flags, key) {
+    match value_of(flags, key)? {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
     }
 }
 
 fn algo(flags: &[(String, Option<String>)]) -> Result<Algorithm, String> {
-    Ok(match get(flags, "algo").unwrap_or("pagerankvm") {
+    Ok(match value_of(flags, "algo")?.unwrap_or("pagerankvm") {
         "pagerankvm" => Algorithm::PageRankVm,
         "2choice" => Algorithm::TwoChoice,
         "ff" => Algorithm::FirstFit,
@@ -118,6 +147,7 @@ fn algo(flags: &[(String, Option<String>)]) -> Result<Algorithm, String> {
 /// `pagerankvm rank`.
 pub fn rank(args: &[String]) -> Result<(), String> {
     let f = flags(args)?;
+    known(&f, &["dims", "cap", "profile"])?;
     let dims: usize = parse(&f, "dims", 4)?;
     let cap: u16 = parse(&f, "cap", 4)?;
     if dims == 0 || cap == 0 {
@@ -149,7 +179,7 @@ pub fn rank(args: &[String]) -> Result<(), String> {
         stats.best_reaching_fraction * 100.0
     );
 
-    if let Some(spec) = get(&f, "profile") {
+    if let Some(spec) = value_of(&f, "profile")? {
         let raw: Vec<u64> = spec
             .split(',')
             .map(|s| {
@@ -164,8 +194,12 @@ pub fn rank(args: &[String]) -> Result<(), String> {
         let p = table.space().canonicalize(&[&raw]);
         match table.score(&p) {
             Some(s) => {
-                let paths = paths_to_best(table.graph()).expect("best profile reachable");
-                let node = table.graph().node(&p).expect("scored implies present");
+                let paths = paths_to_best(table.graph())
+                    .ok_or("internal error: the best profile is not in the graph")?;
+                let node = table
+                    .graph()
+                    .node(&p)
+                    .ok_or("internal error: scored profile missing from the graph")?;
                 println!(
                     "profile {p}: score {:.6e}, {} path(s) to the best profile",
                     s, paths[node as usize]
@@ -185,6 +219,7 @@ pub fn rank(args: &[String]) -> Result<(), String> {
 /// `pagerankvm place`.
 pub fn place(args: &[String]) -> Result<(), String> {
     let f = flags(args)?;
+    known(&f, &["vms", "algo", "seed", "log", "events", "metrics"])?;
     let n: usize = parse(&f, "vms", 100)?;
     let seed: u64 = parse(&f, "seed", 42)?;
     let algorithm = algo(&f)?;
@@ -194,7 +229,7 @@ pub fn place(args: &[String]) -> Result<(), String> {
     let metrics = obs_setup(&f)?;
     let run_span = Span::enter("place");
 
-    let book = prvm_sim::ec2_score_book();
+    let book = prvm_sim::ec2_score_book().map_err(|e| e.to_string())?;
     let wl = WorkloadConfig::sized_for(n, TraceKind::PlanetLab);
     let workload = Workload::generate(&wl, 1, seed);
     let mut cluster = build_cluster(&wl);
@@ -232,6 +267,12 @@ pub fn place(args: &[String]) -> Result<(), String> {
 /// `pagerankvm simulate`.
 pub fn simulate(args: &[String]) -> Result<(), String> {
     let f = flags(args)?;
+    known(
+        &f,
+        &[
+            "vms", "algo", "seed", "hours", "csv", "log", "events", "metrics",
+        ],
+    )?;
     let n: usize = parse(&f, "vms", 100)?;
     let seed: u64 = parse(&f, "seed", 42)?;
     let hours: u64 = parse(&f, "hours", 24)?;
@@ -245,7 +286,7 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
     };
     let wl = WorkloadConfig::sized_for(n, TraceKind::PlanetLab);
     let workload = Workload::generate(&wl, sim.scans(), seed);
-    let book = prvm_sim::ec2_score_book();
+    let book = prvm_sim::ec2_score_book().map_err(|e| e.to_string())?;
     let (mut placer, mut evictor) = algorithm.build(&book, seed);
     let (o, ts) = simulate_traced(
         &sim,
@@ -265,7 +306,7 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
     println!("  SLO violations:        {:.3} %", o.slo_violation_pct);
     println!("  overloaded scans:      {}", o.overload_events);
 
-    if let Some(path) = get(&f, "csv") {
+    if let Some(path) = value_of(&f, "csv")? {
         let mut file = std::fs::File::create(path).map_err(|e| e.to_string())?;
         ts.write_csv(&mut file).map_err(|e| e.to_string())?;
         println!("  per-scan time series written to {path}");
@@ -277,6 +318,12 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
 /// `pagerankvm testbed`.
 pub fn testbed(args: &[String]) -> Result<(), String> {
     let f = flags(args)?;
+    known(
+        &f,
+        &[
+            "jobs", "algo", "seed", "minutes", "log", "events", "metrics",
+        ],
+    )?;
     let jobs: usize = parse(&f, "jobs", 150)?;
     let seed: u64 = parse(&f, "seed", 42)?;
     let minutes: u64 = parse(&f, "minutes", 240)?;
@@ -306,6 +353,84 @@ pub fn testbed(args: &[String]) -> Result<(), String> {
     obs_finish(metrics)
 }
 
+/// `pagerankvm audit`: run every invariant family and exit non-zero on
+/// any violation.
+pub fn audit(args: &[String]) -> Result<(), String> {
+    let f = flags(args)?;
+    known(&f, &["vms", "algo", "seed", "hours", "self-test"])?;
+    if has(&f, "self-test") {
+        return audit_self_test();
+    }
+    let n: usize = parse(&f, "vms", 100)?;
+    let seed: u64 = parse(&f, "seed", 42)?;
+    let hours: u64 = parse(&f, "hours", 4)?;
+    let algorithm = algo(&f)?;
+
+    // Static half: every profile-graph edge must be a legal single-VM
+    // transition and every score vector a proper distribution.
+    let book = prvm_sim::ec2_score_book().map_err(|e| e.to_string())?;
+    let mut report = audit::check_book(&book);
+
+    // Dynamic half: replay a simulation, re-checking capacity and
+    // anti-collocation on the whole cluster after every placement,
+    // eviction and migration step.
+    let sim = SimConfig {
+        horizon_s: hours * 3600,
+        ..SimConfig::default()
+    };
+    let wl = WorkloadConfig::sized_for(n, TraceKind::PlanetLab);
+    let workload = Workload::generate(&wl, sim.scans(), seed);
+    let (mut placer, mut evictor) = algorithm.build(&book, seed);
+    let (_, sim_report) = simulate_with_audit(
+        &sim,
+        build_cluster(&wl),
+        &workload,
+        placer.as_mut(),
+        evictor.as_mut(),
+    );
+    report.merge(sim_report);
+
+    println!(
+        "audited {} over {hours} h, {n} VMs (seed {seed}):",
+        algorithm.name()
+    );
+    println!("{report}");
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} invariant violation(s)",
+            report.violations.len()
+        ))
+    }
+}
+
+/// Feed the checker states the safe `Cluster` API refuses to build and
+/// prove it flags them (and therefore that `audit` can exit non-zero).
+fn audit_self_test() -> Result<(), String> {
+    let mut report = AuditReport::default();
+    // A collocated assignment: both vCPUs of an m3.large on core 0.
+    audit::check_assignment_shape(
+        &catalog::vm_m3_large(),
+        &Assignment::new(vec![0, 0], vec![0]),
+        16,
+        4,
+        "self-test collocated vm",
+        &mut report,
+    );
+    // A score vector that is not a distribution.
+    audit::check_score_vector(&[0.5, 0.7], "self-test scores", &mut report);
+    println!("{report}");
+    if report.is_clean() {
+        Err("self-test FAILED: injected violations were not detected".into())
+    } else {
+        Err(format!(
+            "self-test OK: checker flagged {} injected violation(s); exiting non-zero",
+            report.violations.len()
+        ))
+    }
+}
+
 /// `pagerankvm report FILE.jsonl`.
 pub fn report(args: &[String]) -> Result<(), String> {
     let [path] = args else {
@@ -329,8 +454,9 @@ mod tests {
     #[test]
     fn flag_parsing() {
         let f = flags(&s(&["--vms", "10", "--fresh", "--seed", "7"])).unwrap();
-        assert_eq!(get(&f, "vms"), Some("10"));
-        assert_eq!(get(&f, "fresh"), None);
+        assert_eq!(value_of(&f, "vms").unwrap(), Some("10"));
+        assert!(value_of(&f, "fresh").is_err(), "bare flag has no value");
+        assert!(has(&f, "fresh"));
         assert_eq!(parse(&f, "seed", 0u64).unwrap(), 7);
         assert_eq!(parse(&f, "missing", 3u64).unwrap(), 3);
         assert!(flags(&s(&["vms"])).is_err());
@@ -407,5 +533,28 @@ mod tests {
     fn bad_log_flag_is_rejected() {
         let err = simulate(&s(&["--vms", "4", "--log", "loud"])).unwrap_err();
         assert!(err.contains("--log"), "{err}");
+    }
+
+    #[test]
+    fn malformed_flags_are_usage_errors() {
+        // A value-taking flag with no value…
+        let err = simulate(&s(&["--vms"])).unwrap_err();
+        assert!(err.contains("--vms needs a value"), "{err}");
+        let err = simulate(&s(&["--vms", "4", "--metrics", "--hours", "1"])).unwrap_err();
+        assert!(err.contains("--metrics needs a value"), "{err}");
+        // …a non-numeric count…
+        let err = simulate(&s(&["--vms", "many"])).unwrap_err();
+        assert!(err.contains("bad value for --vms"), "{err}");
+        // …and a typo'd flag are all reported, not silently ignored.
+        let err = simulate(&s(&["--vmz", "10"])).unwrap_err();
+        assert!(err.contains("unknown flag --vmz"), "{err}");
+        let err = audit(&s(&["--jobs", "10"])).unwrap_err();
+        assert!(err.contains("unknown flag --jobs"), "{err}");
+    }
+
+    #[test]
+    fn audit_self_test_fires_and_fails() {
+        let err = audit(&s(&["--self-test"])).unwrap_err();
+        assert!(err.contains("self-test OK"), "{err}");
     }
 }

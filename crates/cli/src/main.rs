@@ -6,6 +6,7 @@
 //! pagerankvm simulate --vms 200 [--algo …] [--seed N] [--hours H] [--csv FILE]
 //! pagerankvm testbed --jobs 150 [--algo …] [--seed N]
 //! pagerankvm report FILE.jsonl
+//! pagerankvm audit [--vms N] [--algo …] [--seed N] [--hours H] [--self-test]
 //! ```
 //!
 //! `place`, `simulate` and `testbed` also take `--log off|pretty|json`,
@@ -27,6 +28,7 @@ fn main() -> ExitCode {
         "simulate" => commands::simulate(rest),
         "testbed" => commands::testbed(rest),
         "report" => commands::report(rest),
+        "audit" => commands::audit(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

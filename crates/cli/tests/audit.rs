@@ -1,0 +1,47 @@
+//! End-to-end checks of `pagerankvm audit` exit codes: clean runs exit
+//! zero, `--self-test` (deliberate violations) exits non-zero.
+
+#![allow(clippy::unwrap_used)]
+
+use std::process::Command;
+
+fn pagerankvm(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_pagerankvm"))
+        .args(args)
+        .output()
+        .unwrap()
+}
+
+#[test]
+fn audit_on_a_default_run_is_clean() {
+    let out = pagerankvm(&["audit", "--vms", "40", "--hours", "1", "--seed", "7"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    // All four invariant families must have been exercised…
+    for family in [
+        "capacity",
+        "anti-collocation",
+        "graph-edges",
+        "score-distribution",
+    ] {
+        assert!(stdout.contains(family), "missing {family}: {stdout}");
+    }
+    // …with zero violations.
+    assert!(stdout.contains("no violations"), "{stdout}");
+}
+
+#[test]
+fn audit_self_test_exits_non_zero() {
+    let out = pagerankvm(&["audit", "--self-test"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("self-test OK"), "{stderr}");
+}
+
+#[test]
+fn unknown_flag_exits_non_zero() {
+    let out = pagerankvm(&["audit", "--bogus", "1"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag --bogus"), "{stderr}");
+}

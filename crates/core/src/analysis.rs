@@ -3,9 +3,10 @@
 //! statistics, and top-profile reports — used by the figure binaries and
 //! by anyone inspecting why the placer prefers one profile over another.
 
-use crate::graph::{NodeId, ProfileGraph};
+use crate::graph::{ix, NodeId, ProfileGraph};
 use crate::profile::Profile;
 use crate::table::ScoreTable;
+use prvm_model::units::convert;
 
 /// Exact number of distinct placement *sequences* from each node to the
 /// best profile — the quantity the paper's §V-A quality argument counts
@@ -20,7 +21,7 @@ pub fn paths_to_best(graph: &ProfileGraph) -> Option<Vec<u64>> {
     let best = graph.node(&graph.space().best_profile())?;
     let n = graph.node_count();
     let mut counts = vec![0u64; n];
-    counts[best as usize] = 1;
+    counts[ix(best)] = 1;
 
     // Reverse topological order (decreasing total usage) makes this a
     // single sweep: a node's count is the sum over its successors'.
@@ -32,7 +33,7 @@ pub fn paths_to_best(graph: &ProfileGraph) -> Option<Vec<u64>> {
             .map(|&v| u64::from(v))
             .sum()
     };
-    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut order: Vec<NodeId> = graph.node_ids().collect();
     order.sort_unstable_by_key(|&id| std::cmp::Reverse(total(id)));
     for id in order {
         if id == best {
@@ -40,9 +41,9 @@ pub fn paths_to_best(graph: &ProfileGraph) -> Option<Vec<u64>> {
         }
         let mut sum = 0u64;
         for &s in graph.successors(id) {
-            sum = sum.saturating_add(counts[s as usize]);
+            sum = sum.saturating_add(counts[ix(s)]);
         }
-        counts[id as usize] = sum;
+        counts[ix(id)] = sum;
     }
     Some(counts)
 }
@@ -88,8 +89,8 @@ pub fn rank_stats(table: &ScoreTable) -> RankStats {
         profiles: n,
         min,
         max,
-        mean: sum / n as f64,
-        best_reaching_fraction: reaching as f64 / n as f64,
+        mean: sum / convert::usize_to_f64(n),
+        best_reaching_fraction: convert::usize_to_f64(reaching) / convert::usize_to_f64(n),
     }
 }
 
@@ -97,7 +98,7 @@ pub fn rank_stats(table: &ScoreTable) -> RankStats {
 #[must_use]
 pub fn top_profiles(table: &ScoreTable, k: usize) -> Vec<(Profile, f64)> {
     let mut all: Vec<(Profile, f64)> = table.iter().map(|(p, s)| (p.clone(), s)).collect();
-    all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
+    all.sort_by(|a, b| b.1.total_cmp(&a.1));
     all.truncate(k);
     all
 }
@@ -133,7 +134,7 @@ pub fn pairwise_agreement(a: &ScoreTable, b: &ScoreTable) -> f64 {
     if total == 0 {
         1.0
     } else {
-        agree as f64 / total as f64
+        convert::usize_to_f64(agree) / convert::usize_to_f64(total)
     }
 }
 

@@ -1,0 +1,614 @@
+//! Runtime invariant audit for placement correctness.
+//!
+//! Four invariant families guard the model end to end (DESIGN.md §8):
+//!
+//! 1. **Capacity** — per-dimension PM usage recomputed from resident VMs
+//!    matches the tracked counters and never exceeds capacity;
+//! 2. **Anti-collocation** — every assignment lands each vCPU on a
+//!    distinct core and each virtual disk on a distinct physical disk,
+//!    with the shape the VM demands;
+//! 3. **Graph edges** — every edge `A → B` of a profile graph is a legal
+//!    single-VM transition: `B` is reachable from `A` by hosting exactly
+//!    one VM of the graph's type set, and usage strictly increases;
+//! 4. **Score distribution** — PageRank score vectors are non-negative
+//!    and sum to `1 ± ε` before the BPRU discount, and BPRU lies in
+//!    `(0, 1]`.
+//!
+//! The checkers are pure observers: they never mutate state and return
+//! every violation found rather than stopping at the first. The sim
+//! engine consults [`check_cluster`] after the initial allocation and
+//! after every scan's migrations (debug-assert-gated in plain runs), and
+//! the `pagerankvm audit` CLI subcommand runs all four families against
+//! a full simulation.
+
+use crate::graph::ProfileGraph;
+use crate::table::{ScoreBook, ScoreTable};
+use prvm_model::{Assignment, Cluster, DiskGb, MemMib, Mhz, Pm, VmSpec};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Tolerance on the PageRank probability mass (`Σ scores = 1 ± ε`).
+pub const SCORE_SUM_EPSILON: f64 = 1e-6;
+
+/// The four invariant families the audit layer validates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Invariant {
+    /// Per-dimension usage consistent with residents and within capacity.
+    Capacity,
+    /// Distinct-dimension assignments of the demanded shape.
+    AntiCollocation,
+    /// Profile-graph edges are legal single-VM transitions.
+    GraphEdges,
+    /// PageRank mass and BPRU range.
+    ScoreDistribution,
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Invariant::Capacity => "capacity",
+            Invariant::AntiCollocation => "anti-collocation",
+            Invariant::GraphEdges => "graph-edges",
+            Invariant::ScoreDistribution => "score-distribution",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One broken invariant, with enough context to locate the culprit.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which family failed.
+    pub invariant: Invariant,
+    /// What was being checked (`pm 3`, `vm 17 on pm 3`, `node 41`, …).
+    pub subject: String,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.invariant, self.subject, self.detail)
+    }
+}
+
+/// Outcome of an audit pass: how much was checked, per family, and every
+/// violation found.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Capacity comparisons performed (per PM dimension group).
+    pub capacity_checks: u64,
+    /// Assignments validated for anti-collocation.
+    pub anti_collocation_checks: u64,
+    /// Graph edges validated as legal transitions.
+    pub edge_checks: u64,
+    /// Score entries validated (PageRank + BPRU).
+    pub score_checks: u64,
+    /// Everything that failed.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// `true` when no invariant was violated.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Fold another report into this one.
+    pub fn merge(&mut self, other: AuditReport) {
+        self.capacity_checks += other.capacity_checks;
+        self.anti_collocation_checks += other.anti_collocation_checks;
+        self.edge_checks += other.edge_checks;
+        self.score_checks += other.score_checks;
+        self.violations.extend(other.violations);
+    }
+
+    fn violation(&mut self, invariant: Invariant, subject: impl Into<String>, detail: String) {
+        self.violations.push(Violation {
+            invariant,
+            subject: subject.into(),
+            detail,
+        });
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "capacity: {} checks; anti-collocation: {} checks; \
+             graph-edges: {} checks; score-distribution: {} checks",
+            self.capacity_checks, self.anti_collocation_checks, self.edge_checks, self.score_checks
+        )?;
+        if self.violations.is_empty() {
+            write!(f, "no violations")
+        } else {
+            writeln!(f, "{} violation(s):", self.violations.len())?;
+            for v in &self.violations {
+                writeln!(f, "  {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Family 2 on raw parts: does `assignment` satisfy the anti-collocation
+/// constraint and the shape `vm` demands on a PM with `cores` cores and
+/// `disks` disks? Exposed raw so tests can probe states the safe
+/// [`Cluster`] API refuses to construct.
+pub fn check_assignment_shape(
+    vm: &VmSpec,
+    assignment: &Assignment,
+    cores: usize,
+    disks: usize,
+    subject: &str,
+    report: &mut AuditReport,
+) {
+    report.anti_collocation_checks += 1;
+    if !assignment.is_anti_collocated() {
+        report.violation(
+            Invariant::AntiCollocation,
+            subject,
+            format!(
+                "assignment reuses a dimension: cores {:?}, disks {:?}",
+                assignment.cores, assignment.disks
+            ),
+        );
+    }
+    let want_cores = prvm_model::units::convert::u32_to_usize(vm.vcpus);
+    if assignment.cores.len() != want_cores {
+        report.violation(
+            Invariant::AntiCollocation,
+            subject,
+            format!(
+                "{} vCPUs assigned to {} cores",
+                vm.vcpus,
+                assignment.cores.len()
+            ),
+        );
+    }
+    if assignment.disks.len() != vm.disks().len() {
+        report.violation(
+            Invariant::AntiCollocation,
+            subject,
+            format!(
+                "{} virtual disks assigned to {} physical disks",
+                vm.disks().len(),
+                assignment.disks.len()
+            ),
+        );
+    }
+    if let Some(&c) = assignment.cores.iter().find(|&&c| c >= cores) {
+        report.violation(
+            Invariant::AntiCollocation,
+            subject,
+            format!("core index {c} out of range (PM has {cores})"),
+        );
+    }
+    if let Some(&d) = assignment.disks.iter().find(|&&d| d >= disks) {
+        report.violation(
+            Invariant::AntiCollocation,
+            subject,
+            format!("disk index {d} out of range (PM has {disks})"),
+        );
+    }
+}
+
+/// Family 1 on raw parts: recomputed usage vs. tracked usage vs. capacity
+/// for one PM-shaped set of dimensions. `label` names the PM in subjects.
+#[allow(clippy::too_many_arguments)]
+fn check_capacity_raw(
+    label: &str,
+    core_cap: Mhz,
+    mem_cap: MemMib,
+    disk_caps: &[DiskGb],
+    tracked_cores: &[Mhz],
+    tracked_mem: MemMib,
+    tracked_disks: &[DiskGb],
+    residents: &[(&VmSpec, &Assignment)],
+    report: &mut AuditReport,
+) {
+    let mut cores = vec![Mhz::ZERO; tracked_cores.len()];
+    let mut mem = MemMib::ZERO;
+    let mut disks = vec![DiskGb::ZERO; tracked_disks.len()];
+    for (vm, assignment) in residents {
+        for &c in &assignment.cores {
+            if let Some(slot) = cores.get_mut(c) {
+                *slot += vm.vcpu_mhz;
+            }
+        }
+        mem += vm.memory;
+        for (&d, &demand) in assignment.disks.iter().zip(vm.disks()) {
+            if let Some(slot) = disks.get_mut(d) {
+                *slot += demand;
+            }
+        }
+    }
+    report.capacity_checks += 3;
+    for (i, (&recomputed, &tracked)) in cores.iter().zip(tracked_cores).enumerate() {
+        if recomputed != tracked {
+            report.violation(
+                Invariant::Capacity,
+                label,
+                format!("core {i}: tracked {tracked}, residents sum to {recomputed}"),
+            );
+        }
+        if tracked > core_cap {
+            report.violation(
+                Invariant::Capacity,
+                label,
+                format!("core {i}: used {tracked} exceeds capacity {core_cap}"),
+            );
+        }
+    }
+    if mem != tracked_mem {
+        report.violation(
+            Invariant::Capacity,
+            label,
+            format!("memory: tracked {tracked_mem}, residents sum to {mem}"),
+        );
+    }
+    if tracked_mem > mem_cap {
+        report.violation(
+            Invariant::Capacity,
+            label,
+            format!("memory: used {tracked_mem} exceeds capacity {mem_cap}"),
+        );
+    }
+    for (i, (&recomputed, &tracked)) in disks.iter().zip(tracked_disks).enumerate() {
+        if recomputed != tracked {
+            report.violation(
+                Invariant::Capacity,
+                label,
+                format!("disk {i}: tracked {tracked}, residents sum to {recomputed}"),
+            );
+        }
+        let cap = disk_caps.get(i).copied().unwrap_or(DiskGb::ZERO);
+        if tracked > cap {
+            report.violation(
+                Invariant::Capacity,
+                label,
+                format!("disk {i}: used {tracked} exceeds capacity {cap}"),
+            );
+        }
+    }
+}
+
+/// Families 1 and 2 for one live PM.
+#[must_use]
+pub fn check_pm(pm: &Pm, label: &str) -> AuditReport {
+    let mut report = AuditReport::default();
+    let residents: Vec<(&VmSpec, &Assignment)> = pm
+        .vms()
+        .map(|(_, vm, assignment)| (vm, assignment))
+        .collect();
+    check_capacity_raw(
+        label,
+        pm.spec().core_mhz,
+        pm.spec().memory,
+        pm.spec().disks(),
+        pm.core_used(),
+        pm.mem_used(),
+        pm.disk_used(),
+        &residents,
+        &mut report,
+    );
+    for (id, vm, assignment) in pm.vms() {
+        let subject = format!("vm {} on {label}", id.0);
+        check_assignment_shape(
+            vm,
+            assignment,
+            pm.core_used().len(),
+            pm.disk_used().len(),
+            &subject,
+            &mut report,
+        );
+    }
+    report
+}
+
+/// Families 1 and 2 across every PM of a cluster.
+#[must_use]
+pub fn check_cluster(cluster: &Cluster) -> AuditReport {
+    let mut report = AuditReport::default();
+    for (i, pm) in cluster.pms().iter().enumerate() {
+        if pm.is_empty() {
+            continue;
+        }
+        report.merge(check_pm(pm, &format!("pm {i}")));
+    }
+    report
+}
+
+/// Family 3: every edge of `graph` is a legal single-VM transition.
+#[must_use]
+pub fn check_graph(graph: &ProfileGraph) -> AuditReport {
+    let mut report = AuditReport::default();
+    let space = graph.space();
+    for id in graph.node_ids() {
+        let from = graph.profile(id);
+        let legal: HashSet<crate::profile::Profile> = graph
+            .vm_types()
+            .iter()
+            .flat_map(|vm| space.place(from, vm))
+            .collect();
+        let mut seen = HashSet::new();
+        for &succ in graph.successors(id) {
+            report.edge_checks += 1;
+            let to = graph.profile(succ);
+            if !seen.insert(succ) {
+                report.violation(
+                    Invariant::GraphEdges,
+                    format!("node {id}"),
+                    format!("duplicate edge to node {succ} ({to})"),
+                );
+            }
+            if !legal.contains(to) {
+                report.violation(
+                    Invariant::GraphEdges,
+                    format!("node {id}"),
+                    format!("edge {from} -> {to} is not a single-VM transition"),
+                );
+            }
+            let used_from: u64 = from.values().iter().map(|&v| u64::from(v)).sum();
+            let used_to: u64 = to.values().iter().map(|&v| u64::from(v)).sum();
+            if used_to <= used_from {
+                report.violation(
+                    Invariant::GraphEdges,
+                    format!("node {id}"),
+                    format!("edge {from} -> {to} does not increase usage"),
+                );
+            }
+        }
+    }
+    report
+}
+
+/// Family 4: PageRank mass and BPRU range for one score table.
+#[must_use]
+pub fn check_scores(table: &ScoreTable) -> AuditReport {
+    let mut report = AuditReport::default();
+    check_score_vector(table.pagerank().scores.as_slice(), "pagerank", &mut report);
+    let discount = crate::bpru::bpru(table.graph());
+    for (id, &b) in discount.iter().enumerate() {
+        report.score_checks += 1;
+        if !(b > 0.0 && b <= 1.0) {
+            report.violation(
+                Invariant::ScoreDistribution,
+                format!("node {id}"),
+                format!("BPRU {b} outside (0, 1]"),
+            );
+        }
+    }
+    report
+}
+
+/// Family 4 on a raw score vector: non-negative entries summing to
+/// `1 ± ε`. Exposed raw so tests can feed deliberately broken vectors.
+pub fn check_score_vector(scores: &[f64], label: &str, report: &mut AuditReport) {
+    let mut sum = 0.0;
+    for (i, &s) in scores.iter().enumerate() {
+        report.score_checks += 1;
+        if !s.is_finite() || s < 0.0 {
+            report.violation(
+                Invariant::ScoreDistribution,
+                format!("{label} node {i}"),
+                format!("score {s} is negative or non-finite"),
+            );
+        }
+        sum += s;
+    }
+    if (sum - 1.0).abs() > SCORE_SUM_EPSILON {
+        report.violation(
+            Invariant::ScoreDistribution,
+            label,
+            format!("scores sum to {sum}, expected 1 +/- {SCORE_SUM_EPSILON}"),
+        );
+    }
+}
+
+/// Families 3 and 4 for every table of a score book.
+#[must_use]
+pub fn check_book(book: &ScoreBook) -> AuditReport {
+    let mut report = AuditReport::default();
+    for (_, table) in book.tables() {
+        report.merge(check_graph(table.graph()));
+        report.merge(check_scores(table));
+    }
+    report
+}
+
+/// Debug-build guard: assert that `cluster` passes families 1 and 2.
+/// Compiled to nothing in release builds.
+pub fn debug_check_cluster(cluster: &Cluster, context: &str) {
+    if cfg!(debug_assertions) {
+        let report = check_cluster(cluster);
+        debug_assert!(
+            report.is_clean(),
+            "cluster audit failed after {context}:\n{report}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphLimits;
+    use crate::pagerank::PageRankConfig;
+    use crate::profile::{ProfileSpace, ProfileVm};
+    use prvm_model::{catalog, Quantizer};
+
+    fn paper_table() -> ScoreTable {
+        ScoreTable::build(
+            ProfileSpace::uniform(4, 4),
+            vec![
+                ProfileVm::from_demands("[1,1]", vec![vec![1, 1]]),
+                ProfileVm::from_demands("[1,1,1,1]", vec![vec![1, 1, 1, 1]]),
+            ],
+            &PageRankConfig::default(),
+            GraphLimits::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_cluster_audits_clean() {
+        let mut cluster = Cluster::homogeneous(catalog::pm_m3(), 2);
+        let vm = catalog::vm_m3_large();
+        let pm = cluster.pm(prvm_model::PmId(0));
+        let assignment = pm.first_feasible(&vm).unwrap();
+        cluster.place(prvm_model::PmId(0), vm, assignment).unwrap();
+        let report = check_cluster(&cluster);
+        assert!(report.is_clean(), "{report}");
+        assert!(report.capacity_checks > 0);
+        assert!(report.anti_collocation_checks > 0);
+    }
+
+    #[test]
+    fn collocated_assignment_is_flagged() {
+        // Bypass the safe API: a 2-vCPU VM squeezed onto one core.
+        let vm = catalog::vm_m3_large();
+        let bad = Assignment::new(vec![0, 0], vec![0]);
+        let mut report = AuditReport::default();
+        check_assignment_shape(&vm, &bad, 8, 2, "vm 0 on pm 0", &mut report);
+        assert!(!report.is_clean());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::AntiCollocation));
+    }
+
+    #[test]
+    fn out_of_range_core_is_flagged() {
+        let vm = catalog::vm_m3_large();
+        let bad = Assignment::new(vec![0, 99], vec![0]);
+        let mut report = AuditReport::default();
+        check_assignment_shape(&vm, &bad, 8, 2, "vm 0 on pm 0", &mut report);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.detail.contains("out of range")));
+    }
+
+    #[test]
+    fn capacity_overflow_is_flagged() {
+        // Tracked usage beyond capacity, recomputed from a consistent
+        // resident set, must trip the capacity family.
+        let vm = catalog::vm_m3_large();
+        let assignment = Assignment::new(vec![0, 1], vec![0]);
+        let residents = vec![(&vm, &assignment)];
+        let mut tracked_cores = vec![Mhz::ZERO; 8];
+        tracked_cores[0] = vm.vcpu_mhz;
+        tracked_cores[1] = vm.vcpu_mhz;
+        let mut report = AuditReport::default();
+        check_capacity_raw(
+            "pm 0",
+            Mhz(1), // capacity far below the tracked usage
+            MemMib(u64::MAX),
+            &[DiskGb(u64::MAX)],
+            &tracked_cores,
+            vm.memory,
+            &[vm.disks().first().copied().unwrap_or(DiskGb::ZERO)],
+            &residents,
+            &mut report,
+        );
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::Capacity && v.detail.contains("exceeds")));
+    }
+
+    #[test]
+    fn tracked_usage_mismatch_is_flagged() {
+        // A tracked counter that disagrees with the resident set.
+        let vm = catalog::vm_m3_large();
+        let assignment = Assignment::new(vec![0, 1], vec![0]);
+        let residents = vec![(&vm, &assignment)];
+        let tracked_cores = vec![Mhz::ZERO; 8]; // should show the VM
+        let mut report = AuditReport::default();
+        check_capacity_raw(
+            "pm 0",
+            Mhz(u64::MAX),
+            MemMib(u64::MAX),
+            &[DiskGb(u64::MAX), DiskGb(u64::MAX)],
+            &tracked_cores,
+            vm.memory,
+            &[DiskGb::ZERO, DiskGb::ZERO],
+            &residents,
+            &mut report,
+        );
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::Capacity && v.detail.contains("residents sum")));
+    }
+
+    #[test]
+    fn paper_graph_and_scores_audit_clean() {
+        let table = paper_table();
+        let graph_report = check_graph(table.graph());
+        assert!(graph_report.is_clean(), "{graph_report}");
+        assert!(graph_report.edge_checks > 0);
+        let score_report = check_scores(&table);
+        assert!(score_report.is_clean(), "{score_report}");
+        assert!(score_report.score_checks > 0);
+    }
+
+    #[test]
+    fn ec2_book_audits_clean() {
+        let book = ScoreBook::build(
+            Quantizer {
+                core_slots: 2,
+                mem_levels: 4,
+                disk_levels: 2,
+            },
+            &catalog::ec2_pm_types(),
+            &catalog::ec2_vm_types(),
+            &PageRankConfig::default(),
+            GraphLimits::default(),
+        )
+        .unwrap();
+        let report = check_book(&book);
+        assert!(report.is_clean(), "{report}");
+        assert!(report.edge_checks > 0 && report.score_checks > 0);
+    }
+
+    #[test]
+    fn broken_score_vector_is_flagged() {
+        let mut report = AuditReport::default();
+        check_score_vector(&[0.5, -0.1, 0.6], "pagerank", &mut report);
+        assert_eq!(report.violations.len(), 1, "{report}");
+        let mut report = AuditReport::default();
+        check_score_vector(&[0.5, 0.1], "pagerank", &mut report);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.detail.contains("sum to")));
+    }
+
+    #[test]
+    fn debug_guard_accepts_clean_cluster() {
+        let cluster = Cluster::homogeneous(catalog::pm_m3(), 1);
+        debug_check_cluster(&cluster, "test");
+    }
+
+    #[test]
+    fn report_display_names_all_families() {
+        let mut report = AuditReport::default();
+        report.violation(Invariant::Capacity, "pm 0", "x".into());
+        report.violation(Invariant::AntiCollocation, "vm 0", "x".into());
+        report.violation(Invariant::GraphEdges, "node 0", "x".into());
+        report.violation(Invariant::ScoreDistribution, "node 0", "x".into());
+        let text = report.to_string();
+        for family in [
+            "capacity",
+            "anti-collocation",
+            "graph-edges",
+            "score-distribution",
+        ] {
+            assert!(text.contains(family), "missing {family} in {text}");
+        }
+        assert!(!report.is_clean());
+    }
+}

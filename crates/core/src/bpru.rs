@@ -12,7 +12,7 @@
 //! scores by BPRU discounts profiles whose every future ends short of the
 //! best profile.
 
-use crate::graph::{NodeId, ProfileGraph};
+use crate::graph::{ix, NodeId, ProfileGraph};
 
 /// Compute the BPRU of every node.
 ///
@@ -21,7 +21,7 @@ use crate::graph::{NodeId, ProfileGraph};
 #[must_use]
 pub fn bpru(graph: &ProfileGraph) -> Vec<f64> {
     let n = graph.node_count();
-    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut order: Vec<NodeId> = graph.node_ids().collect();
     let total = |id: NodeId| -> u64 {
         graph
             .profile(id)
@@ -36,11 +36,11 @@ pub fn bpru(graph: &ProfileGraph) -> Vec<f64> {
     let mut out = vec![0.0f64; n];
     for id in order {
         let succ = graph.successors(id);
-        out[id as usize] = if succ.is_empty() {
+        out[ix(id)] = if succ.is_empty() {
             graph.utilization(id)
         } else {
             succ.iter()
-                .map(|&s| out[s as usize])
+                .map(|&s| out[ix(s)])
                 .fold(f64::NEG_INFINITY, f64::max)
         };
     }

@@ -12,6 +12,7 @@
 //! sweep.
 
 use crate::profile::{Profile, ProfileSpace, ProfileVm};
+use prvm_model::units::convert;
 use prvm_obs::Span;
 use std::collections::HashMap;
 use std::error::Error;
@@ -19,6 +20,23 @@ use std::fmt;
 
 /// Node handle inside a [`ProfileGraph`].
 pub type NodeId = u32;
+
+/// Widen a node id to a vector index — the single audited `NodeId → usize`
+/// conversion site. Lossless: `NodeId` is `u32` and every supported target
+/// has at least 32-bit pointers, so the fallback is unreachable.
+#[inline]
+pub(crate) fn ix(id: NodeId) -> usize {
+    usize::try_from(id).unwrap_or(usize::MAX)
+}
+
+/// Narrow a node index to a `NodeId` — the single audited `usize → NodeId`
+/// conversion site. Builders bound the node count by both
+/// [`GraphLimits::max_nodes`] and `u32::MAX` before minting ids, so the
+/// saturating fallback is unreachable.
+#[inline]
+pub(crate) fn nid(i: usize) -> NodeId {
+    NodeId::try_from(i).unwrap_or(NodeId::MAX)
+}
 
 /// Construction limits guarding against a quantization that explodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,52 +142,39 @@ impl ProfileGraph {
             per_kind.push(seqs);
         }
         let total: usize = per_kind.iter().map(Vec::len).product();
-        if total > limits.max_nodes {
+        if total > limits.max_nodes || NodeId::try_from(total).is_err() {
             return Err(GraphError::TooLarge {
                 max_nodes: limits.max_nodes,
             });
         }
 
         let mut nodes: Vec<Profile> = Vec::with_capacity(total);
-        let mut flat = vec![0u16; space.dims()];
-        let offsets: Vec<usize> = {
-            let mut v = vec![0usize];
-            for k in space.kinds() {
-                v.push(v.last().unwrap() + k.count);
-            }
-            v
-        };
-        fn cartesian(
-            per_kind: &[Vec<Vec<u16>>],
-            offsets: &[usize],
-            kind: usize,
-            flat: &mut [u16],
+        fn cartesian<'a>(
+            remaining: &'a [Vec<Vec<u16>>],
+            chosen: &mut Vec<&'a [u16]>,
             space: &ProfileSpace,
             nodes: &mut Vec<Profile>,
         ) {
-            if kind == per_kind.len() {
-                let parts: Vec<Vec<u64>> = (0..per_kind.len())
-                    .map(|k| {
-                        flat[offsets[k]..offsets[k + 1]]
-                            .iter()
-                            .map(|&v| u64::from(v))
-                            .collect()
-                    })
+            let Some((head, rest)) = remaining.split_first() else {
+                let parts: Vec<Vec<u64>> = chosen
+                    .iter()
+                    .map(|seq| seq.iter().map(|&v| u64::from(v)).collect())
                     .collect();
                 let refs: Vec<&[u64]> = parts.iter().map(Vec::as_slice).collect();
                 nodes.push(space.canonicalize(&refs));
                 return;
-            }
-            for seq in &per_kind[kind] {
-                flat[offsets[kind]..offsets[kind + 1]].copy_from_slice(seq);
-                cartesian(per_kind, offsets, kind + 1, flat, space, nodes);
+            };
+            for seq in head {
+                chosen.push(seq);
+                cartesian(rest, chosen, space, nodes);
+                chosen.pop();
             }
         }
-        cartesian(&per_kind, &offsets, 0, &mut flat, &space, &mut nodes);
+        cartesian(&per_kind, &mut Vec::new(), &space, &mut nodes);
 
         let mut index: HashMap<Profile, NodeId> = HashMap::with_capacity(nodes.len());
         for (i, p) in nodes.iter().enumerate() {
-            index.insert(p.clone(), i as NodeId);
+            index.insert(p.clone(), nid(i));
         }
 
         let mut succ: Vec<NodeId> = Vec::new();
@@ -179,7 +184,12 @@ impl ProfileGraph {
             buf.clear();
             for vm in &usable {
                 for out in space.place(node, vm) {
-                    buf.push(index[&out]);
+                    // Every canonical profile was enumerated above and
+                    // `place` yields canonical outputs, so the lookup hits.
+                    match index.get(&out) {
+                        Some(&id) => buf.push(id),
+                        None => debug_assert!(false, "successor profile missing from full index"),
+                    }
                 }
             }
             buf.sort_unstable();
@@ -189,8 +199,8 @@ impl ProfileGraph {
         }
 
         let util = nodes.iter().map(|p| space.utilization(p)).collect();
-        prvm_obs::counter!("graph.nodes", nodes.len() as u64);
-        prvm_obs::counter!("graph.edges", succ.len() as u64);
+        prvm_obs::counter!("graph.nodes", convert::usize_to_u64(nodes.len()));
+        prvm_obs::counter!("graph.edges", convert::usize_to_u64(succ.len()));
         prvm_obs::event("graph.built")
             .field("mode", "full")
             .field("nodes", nodes.len())
@@ -244,9 +254,8 @@ impl ProfileGraph {
         let mut cursor = 0usize;
         let mut buf: Vec<NodeId> = Vec::new();
         let mut dedup_hits = 0u64;
-        while cursor < nodes.len() {
+        while let Some(node) = nodes.get(cursor).cloned() {
             buf.clear();
-            let node = nodes[cursor].clone();
             for vm in &usable {
                 for out in space.place(&node, vm) {
                     let id = match index.get(&out) {
@@ -255,12 +264,14 @@ impl ProfileGraph {
                             id
                         }
                         None => {
-                            if nodes.len() >= limits.max_nodes {
+                            if nodes.len() >= limits.max_nodes
+                                || NodeId::try_from(nodes.len()).is_err()
+                            {
                                 return Err(GraphError::TooLarge {
                                     max_nodes: limits.max_nodes,
                                 });
                             }
-                            let id = nodes.len() as NodeId;
+                            let id = nid(nodes.len());
                             index.insert(out.clone(), id);
                             nodes.push(out);
                             id
@@ -277,8 +288,8 @@ impl ProfileGraph {
         }
 
         let util = nodes.iter().map(|p| space.utilization(p)).collect();
-        prvm_obs::counter!("graph.nodes", nodes.len() as u64);
-        prvm_obs::counter!("graph.edges", succ.len() as u64);
+        prvm_obs::counter!("graph.nodes", convert::usize_to_u64(nodes.len()));
+        prvm_obs::counter!("graph.edges", convert::usize_to_u64(succ.len()));
         prvm_obs::counter!("graph.dedup_hits", dedup_hits);
         prvm_obs::event("graph.built")
             .field("mode", "bfs")
@@ -329,7 +340,7 @@ impl ProfileGraph {
     /// Panics if `id` is out of range.
     #[must_use]
     pub fn profile(&self, id: NodeId) -> &Profile {
-        &self.nodes[id as usize]
+        &self.nodes[ix(id)]
     }
 
     /// Node id of a profile, if reachable.
@@ -340,15 +351,23 @@ impl ProfileGraph {
 
     /// Successors of a node: `S(P_i)`, the profiles derived by
     /// accommodating one more VM (Algorithm 1, line 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
     #[must_use]
     pub fn successors(&self, id: NodeId) -> &[NodeId] {
-        &self.succ[self.succ_off[id as usize]..self.succ_off[id as usize + 1]]
+        &self.succ[self.succ_off[ix(id)]..self.succ_off[ix(id) + 1]]
     }
 
     /// Resource utilization of a node's profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
     #[must_use]
     pub fn utilization(&self, id: NodeId) -> f64 {
-        self.util[id as usize]
+        self.util[ix(id)]
     }
 
     /// `true` if the node has no successors — no VM type fits any more.
@@ -360,7 +379,7 @@ impl ProfileGraph {
 
     /// All node ids.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        0..self.nodes.len() as NodeId
+        0..nid(self.nodes.len())
     }
 }
 

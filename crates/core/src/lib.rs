@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod audit;
 pub mod bpru;
 pub mod graph;
 pub mod pagerank;
@@ -61,6 +62,7 @@ pub mod table;
 pub mod two_choice;
 
 pub use analysis::{paths_to_best, rank_stats, top_profiles, RankStats};
+pub use audit::{AuditReport, Invariant, Violation};
 pub use bpru::bpru as compute_bpru;
 pub use graph::{GraphError, GraphLimits, NodeId, ProfileGraph};
 pub use pagerank::{pagerank, Orientation, PageRankConfig, PageRankResult};

@@ -26,7 +26,8 @@
 //! [`Orientation::TowardFuller`] gives the literal pseudocode for
 //! comparison (see DESIGN.md §5 and the ablation bench).
 
-use crate::graph::ProfileGraph;
+use crate::graph::{ix, nid, ProfileGraph};
+use prvm_model::units::convert;
 use prvm_obs::{event, Registry, Span};
 
 /// Which way votes flow along profile-graph edges. See the module docs.
@@ -88,7 +89,6 @@ pub struct PageRankResult {
 ///
 /// Panics if `config.damping` is outside `(0, 1)` or the graph is empty.
 #[must_use]
-#[allow(clippy::needless_range_loop)] // parallel-array sweeps read clearest indexed
 pub fn pagerank(graph: &ProfileGraph, config: &PageRankConfig) -> PageRankResult {
     assert!(
         config.damping > 0.0 && config.damping < 1.0,
@@ -106,16 +106,17 @@ pub fn pagerank(graph: &ProfileGraph, config: &PageRankConfig) -> PageRankResult
     let indeg: Vec<u32> = {
         let mut v = vec![0u32; n];
         if config.orientation == Orientation::TowardEmptier {
-            for i in 0..n {
-                for &s in graph.successors(i as u32) {
-                    v[s as usize] += 1;
+            for id in graph.node_ids() {
+                for &s in graph.successors(id) {
+                    v[ix(s)] += 1;
                 }
             }
         }
         v
     };
 
-    let mut pr = vec![1.0 / n as f64; n];
+    let nf = convert::usize_to_f64(n);
+    let mut pr = vec![1.0 / nf; n];
     let mut aux = vec![0.0; n];
     let mut iterations = 0;
     let mut converged = false;
@@ -127,43 +128,43 @@ pub fn pagerank(graph: &ProfileGraph, config: &PageRankConfig) -> PageRankResult
         // voter's out-links.
         match config.orientation {
             Orientation::TowardFuller => {
-                for i in 0..n {
-                    let succ = graph.successors(i as u32);
+                for (i, &rank) in pr.iter().enumerate() {
+                    let succ = graph.successors(nid(i));
                     if succ.is_empty() {
                         continue;
                     }
-                    let share = pr[i] / succ.len() as f64;
+                    let share = rank / convert::usize_to_f64(succ.len());
                     for &s in succ {
-                        aux[s as usize] += share;
+                        aux[ix(s)] += share;
                     }
                 }
             }
             Orientation::TowardEmptier => {
                 // Edge i -> s in the hosting graph becomes a vote s -> i;
                 // node s splits its rank over indeg[s] such votes.
-                for i in 0..n {
+                for (i, a) in aux.iter_mut().enumerate() {
                     let mut sum = 0.0;
-                    for &s in graph.successors(i as u32) {
-                        sum += pr[s as usize] / f64::from(indeg[s as usize]);
+                    for &s in graph.successors(nid(i)) {
+                        sum += pr[ix(s)] / f64::from(indeg[ix(s)]);
                     }
-                    aux[i] += sum;
+                    *a += sum;
                 }
             }
         }
         // Lines 13–16: new scores from the teleport term plus damped votes.
-        let teleport = (1.0 - config.damping) / n as f64;
+        let teleport = (1.0 - config.damping) / nf;
         let mut total = 0.0;
         let mut next = vec![0.0; n];
-        for i in 0..n {
-            next[i] = teleport + config.damping * aux[i];
-            aux[i] = 0.0;
-            total += next[i];
+        for (nx, a) in next.iter_mut().zip(aux.iter_mut()) {
+            *nx = teleport + config.damping * *a;
+            *a = 0.0;
+            total += *nx;
         }
         // Line 17: normalise.
         let mut delta = 0.0f64;
-        for i in 0..n {
-            next[i] /= total;
-            delta = delta.max((next[i] - pr[i]).abs());
+        for (nx, &old) in next.iter_mut().zip(pr.iter()) {
+            *nx /= total;
+            delta = delta.max((*nx - old).abs());
         }
         pr = next;
         residuals.push(delta);
@@ -179,7 +180,10 @@ pub fn pagerank(graph: &ProfileGraph, config: &PageRankConfig) -> PageRankResult
         }
     }
 
-    prvm_obs::counter!("pagerank.iterations_total", iterations as u64);
+    prvm_obs::counter!(
+        "pagerank.iterations_total",
+        convert::usize_to_u64(iterations)
+    );
     event("pagerank.done")
         .field("run", run)
         .field("nodes", n)

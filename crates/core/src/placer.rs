@@ -2,6 +2,7 @@
 
 use crate::table::ScoreBook;
 use prvm_model::combin::distinct_placements;
+use prvm_model::units::convert;
 use prvm_model::{
     Assignment, Cluster, EvictionPolicy, Mhz, PlacementAlgorithm, PlacementDecision, Pm, PmId,
     VmId, VmSpec,
@@ -79,21 +80,29 @@ impl PageRankVmPlacer {
         }
         prvm_obs::counter!(
             "placer.permutations_evaluated",
-            (core_options.len() * disk_options.len()) as u64
+            convert::usize_to_u64(core_options.len() * disk_options.len())
         );
 
         let mut best: Option<(f64, Assignment)> = None;
         let mut new_cores = cores.clone();
         let mut new_disks = disks.clone();
-        for co in &core_options {
+        'cores: for co in &core_options {
             new_cores.copy_from_slice(&cores);
-            for (k, &c) in co.iter().enumerate() {
-                new_cores[c] += cpu_demands[k];
+            for (&c, &demand) in co.iter().zip(&cpu_demands) {
+                let Some(slot) = new_cores.get_mut(c) else {
+                    debug_assert!(false, "core index {c} out of range");
+                    continue 'cores;
+                };
+                *slot += demand;
             }
-            for do_ in &disk_options {
+            'disks: for do_ in &disk_options {
                 new_disks.copy_from_slice(&disks);
-                for (k, &d) in do_.iter().enumerate() {
-                    new_disks[d] += qvm.disk_units[k];
+                for (&d, &units) in do_.iter().zip(&qvm.disk_units) {
+                    let Some(slot) = new_disks.get_mut(d) else {
+                        debug_assert!(false, "disk index {d} out of range");
+                        continue 'disks;
+                    };
+                    *slot += units;
                 }
                 let profile = book.usage_profile(space, &new_cores, new_mem, &new_disks);
                 if let Some(score) = table.score(&profile) {
@@ -222,7 +231,7 @@ impl EvictionPolicy for PageRankEviction {
         let mut biggest: Option<(u64, VmId)> = None;
         for (id, vm, assignment) in pm.vms() {
             let qvm = quantizer.quantize_vm(vm, pm.spec());
-            let total = qvm.vcpu_slots * qvm.vcpus as u64
+            let total = qvm.vcpu_slots * convert::usize_to_u64(qvm.vcpus)
                 + qvm.mem_units
                 + qvm.disk_units.iter().sum::<u64>();
             if biggest.as_ref().is_none_or(|(t, _)| total > *t) {
@@ -231,12 +240,20 @@ impl EvictionPolicy for PageRankEviction {
             let Some(table) = table else { continue };
             let mut rc = cores.clone();
             for &c in &assignment.cores {
-                rc[c] -= qvm.vcpu_slots;
+                let Some(slot) = rc.get_mut(c) else {
+                    debug_assert!(false, "assigned core {c} out of range");
+                    continue;
+                };
+                *slot = slot.saturating_sub(qvm.vcpu_slots);
             }
-            let rm = mem - qvm.mem_units;
+            let rm = mem.saturating_sub(qvm.mem_units);
             let mut rd = disks.clone();
-            for (k, &d) in assignment.disks.iter().enumerate() {
-                rd[d] -= qvm.disk_units[k];
+            for (&d, &units) in assignment.disks.iter().zip(&qvm.disk_units) {
+                let Some(slot) = rd.get_mut(d) else {
+                    debug_assert!(false, "assigned disk {d} out of range");
+                    continue;
+                };
+                *slot = slot.saturating_sub(units);
             }
             let profile = self.book.usage_profile(table.space(), &rc, rm, &rd);
             if let Some(score) = table.score(&profile) {

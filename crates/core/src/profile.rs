@@ -9,6 +9,7 @@
 //! `{α,α,0,0}` and `{0,0,α,α}` map to the same canonical profile — while
 //! preserving exactly the distinctions that matter for ranking.
 
+use prvm_model::units::convert;
 use prvm_model::{QuantizedPm, QuantizedVm};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -56,7 +57,7 @@ impl ProfileSpace {
         offsets.push(off);
         let total_cap = kinds
             .iter()
-            .map(|k| u64::from(k.cap) * k.count as u64)
+            .map(|k| u64::from(k.cap) * convert::usize_to_u64(k.count))
             .sum();
         Self {
             kinds,
@@ -72,17 +73,17 @@ impl ProfileSpace {
             KindSpace {
                 name: "cores".into(),
                 count: pm.cores,
-                cap: pm.core_cap as u16,
+                cap: convert::u64_to_u16_saturating(pm.core_cap),
             },
             KindSpace {
                 name: "mem".into(),
                 count: usize::from(pm.mem_cap > 0),
-                cap: pm.mem_cap as u16,
+                cap: convert::u64_to_u16_saturating(pm.mem_cap),
             },
             KindSpace {
                 name: "disks".into(),
                 count: pm.disks,
-                cap: pm.disk_cap as u16,
+                cap: convert::u64_to_u16_saturating(pm.disk_cap),
             },
         ])
     }
@@ -107,7 +108,7 @@ impl ProfileSpace {
     /// Total number of dimensions (`m` in the paper).
     #[must_use]
     pub fn dims(&self) -> usize {
-        *self.offsets.last().expect("offsets never empty")
+        self.offsets.last().copied().unwrap_or(0)
     }
 
     /// Sum of all dimension capacities (denominator of utilization).
@@ -166,7 +167,7 @@ impl ProfileSpace {
     #[must_use]
     pub fn utilization(&self, profile: &Profile) -> f64 {
         let used: u64 = profile.0.iter().map(|&u| u64::from(u)).sum();
-        used as f64 / self.total_cap as f64
+        convert::u64_to_f64(used) / convert::u64_to_f64(self.total_cap)
     }
 
     /// Variance of per-dimension utilization — the metric of the
@@ -179,8 +180,9 @@ impl ProfileSpace {
                 fracs.push(f64::from(u) / f64::from(k.cap));
             }
         }
-        let mean = fracs.iter().sum::<f64>() / fracs.len() as f64;
-        fracs.iter().map(|f| (f - mean).powi(2)).sum::<f64>() / fracs.len() as f64
+        let dims = convert::usize_to_f64(fracs.len());
+        let mean = fracs.iter().sum::<f64>() / dims;
+        fracs.iter().map(|f| (f - mean).powi(2)).sum::<f64>() / dims
     }
 
     /// Convert a quantized VM into this space's demand shape. Returns
@@ -384,7 +386,10 @@ pub fn place_multiset(usage: &[u16], cap: u16, demands: &[u64]) -> Vec<Vec<u16>>
             // Demands are assigned to distinct dims of the group.
             for (r, counts) in choice.iter().enumerate() {
                 for _ in 0..counts[g] {
-                    outcome.push(value + runs[r].0 as u16);
+                    // The recursion only assigns a demand where it fits
+                    // under `cap`, so this saturation never triggers.
+                    let demand = u16::try_from(runs[r].0).unwrap_or(u16::MAX);
+                    outcome.push(value.saturating_add(demand));
                     bumped += 1;
                 }
             }

@@ -7,7 +7,7 @@
 //! [`Quantizer`] that maps live machines into the profile space.
 
 use crate::bpru::bpru;
-use crate::graph::{GraphError, GraphLimits, ProfileGraph};
+use crate::graph::{ix, GraphError, GraphLimits, ProfileGraph};
 use crate::pagerank::{pagerank, PageRankConfig, PageRankResult};
 use crate::profile::{Profile, ProfileSpace, ProfileVm};
 use prvm_model::{Pm, PmSpec, Quantizer, VmSpec};
@@ -102,14 +102,14 @@ impl ScoreTable {
     /// in the graph (e.g. an over-committed fallback placement).
     #[must_use]
     pub fn score(&self, profile: &Profile) -> Option<f64> {
-        self.graph.node(profile).map(|id| self.scores[id as usize])
+        self.graph.node(profile).map(|id| self.scores[ix(id)])
     }
 
     /// Iterate `(profile, score)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&Profile, f64)> + '_ {
         self.graph
             .node_ids()
-            .map(move |id| (self.graph.profile(id), self.scores[id as usize]))
+            .map(move |id| (self.graph.profile(id), self.scores[ix(id)]))
     }
 
     /// Number of profiles in the table.
@@ -182,6 +182,11 @@ impl ScoreBook {
         self.tables.get(pm)
     }
 
+    /// Iterate every `(PM type, table)` pair (order unspecified).
+    pub fn tables(&self) -> impl Iterator<Item = (&PmSpec, &ScoreTable)> {
+        self.tables.iter()
+    }
+
     /// Number of PM types covered.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -208,6 +213,12 @@ impl ScoreBook {
     ///
     /// Kind order follows [`ProfileSpace::from_quantized_pm`]: cores, then
     /// memory (if present), then disks (if present).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space contains a kind other than `cores`, `mem` or
+    /// `disks`; spaces built by [`ProfileSpace::from_quantized_pm`] never
+    /// do.
     #[must_use]
     pub fn usage_profile(
         &self,

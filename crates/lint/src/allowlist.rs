@@ -1,0 +1,117 @@
+//! The `lint.toml` allowlist: plain-text, one justified finding per line.
+//!
+//! Format (pipe-separated, `#` starts a comment line):
+//!
+//! ```text
+//! L001 | crates/model/src/cluster.rs | location map and PM state agree | struct invariant …
+//! ```
+//!
+//! Fields: rule id, file path (suffix match), a substring of the offending
+//! source line (robust to line-number drift), and a mandatory one-line
+//! reason. An entry suppresses every finding it matches; unused entries
+//! are reported so the file cannot accumulate stale exceptions.
+
+use crate::rules::Finding;
+
+/// One parsed allowlist entry.
+#[derive(Debug)]
+pub struct Entry {
+    /// Rule id the entry applies to (`L001` … `L005`).
+    pub rule: String,
+    /// Path suffix the finding's file must match.
+    pub file: String,
+    /// Substring of the raw source line.
+    pub contains: String,
+    /// Human justification (mandatory).
+    pub reason: String,
+    /// 1-based line in lint.toml, for diagnostics.
+    pub line: usize,
+    /// How many findings this entry suppressed.
+    pub hits: usize,
+}
+
+/// Parse the allowlist text. Returns entries or a parse error message.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut entries = Vec::new();
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split('|').map(str::trim).collect();
+        if parts.len() != 4 {
+            return Err(format!(
+                "lint.toml:{}: expected `RULE | file | line-substring | reason`, got {} field(s)",
+                n + 1,
+                parts.len()
+            ));
+        }
+        if parts.iter().any(|p| p.is_empty()) {
+            return Err(format!(
+                "lint.toml:{}: all four fields (including the reason) must be non-empty",
+                n + 1
+            ));
+        }
+        entries.push(Entry {
+            rule: parts[0].to_string(),
+            file: parts[1].to_string(),
+            contains: parts[2].to_string(),
+            reason: parts[3].to_string(),
+            line: n + 1,
+            hits: 0,
+        });
+    }
+    Ok(entries)
+}
+
+/// True (and records the hit) if some entry covers `finding`.
+pub fn allows(entries: &mut [Entry], finding: &Finding) -> bool {
+    for e in entries.iter_mut() {
+        if e.rule == finding.rule
+            && finding.rel.ends_with(&e.file)
+            && finding.excerpt.contains(&e.contains)
+        {
+            e.hits += 1;
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, rel: &str, excerpt: &str) -> Finding {
+        Finding {
+            rule,
+            rel: rel.to_string(),
+            line: 1,
+            excerpt: excerpt.to_string(),
+            hint: "",
+        }
+    }
+
+    #[test]
+    fn parses_and_matches() {
+        let text =
+            "# comment\n\nL001 | crates/model/src/cluster.rs | state agree | struct invariant\n";
+        let mut entries = parse(text).unwrap();
+        assert_eq!(entries.len(), 1);
+        let f = finding(
+            "L001",
+            "crates/model/src/cluster.rs",
+            ".expect(\"location map and PM state agree\")",
+        );
+        assert!(allows(&mut entries, &f));
+        assert_eq!(entries[0].hits, 1);
+        let other = finding("L002", "crates/model/src/cluster.rs", "state agree");
+        assert!(!allows(&mut entries, &other));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("L001 | file | substring\n").is_err());
+        assert!(parse("L001 | file | substring | \n").is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! `prvm-lint` — workspace-native static analysis for the PageRankVM
+//! reproduction.
+//!
+//! Walks `crates/*/src`, applies the project lint rules L001–L005 (see
+//! `rules.rs` and DESIGN.md §8), subtracts the justified exceptions in
+//! `lint.toml`, and exits non-zero when unallowlisted findings remain.
+//!
+//! ```text
+//! cargo run -p prvm-lint              # lint the workspace
+//! cargo run -p prvm-lint -- --rules   # print the rule table
+//! ```
+//!
+//! Pure std, no external dependencies: the linter must run in offline
+//! sandboxes and CI without touching a registry.
+
+mod allowlist;
+mod rules;
+mod scan;
+
+use rules::Finding;
+use scan::SourceFile;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const RULE_TABLE: &str = "\
+L001  no unwrap()/expect() outside tests and binary targets
+L002  no lossy `as` numeric casts in core/model (units.rs is the sanctioned layer)
+L003  no raw f64 resource arithmetic in core/sim bypassing the units.rs newtypes
+L004  no unchecked slice indexing in hot paths (graph.rs, pagerank.rs, placer.rs)
+L005  every pub fn in core documents a `# Panics` section when it can panic";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rules" => {
+                println!("{RULE_TABLE}");
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage_error("--root requires a directory argument"),
+            },
+            "--allowlist" => match args.next() {
+                Some(v) => allowlist_path = Some(PathBuf::from(v)),
+                None => return usage_error("--allowlist requires a file argument"),
+            },
+            other => {
+                return usage_error(&format!("unknown argument `{other}`"));
+            }
+        }
+    }
+
+    let root = match root.map_or_else(find_workspace_root, Ok) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("prvm-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let allowlist_path = allowlist_path.unwrap_or_else(|| root.join("lint.toml"));
+
+    match run(&root, &allowlist_path) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("prvm-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("prvm-lint: {msg}");
+    eprintln!("usage: prvm-lint [--root DIR] [--allowlist FILE] [--rules]");
+    ExitCode::FAILURE
+}
+
+/// Lint the tree under `root`; returns `Ok(true)` when clean.
+fn run(root: &Path, allowlist_path: &Path) -> Result<bool, String> {
+    let mut entries = match std::fs::read_to_string(allowlist_path) {
+        Ok(text) => allowlist::parse(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("{}: {e}", allowlist_path.display())),
+    };
+
+    let mut files = collect_sources(root)?;
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for file in &files {
+        rules::check(file, &mut findings);
+    }
+
+    let mut reported = 0usize;
+    let mut allowed = 0usize;
+    let mut per_rule = std::collections::BTreeMap::<&str, usize>::new();
+    for f in &findings {
+        if allowlist::allows(&mut entries, f) {
+            allowed += 1;
+            continue;
+        }
+        reported += 1;
+        *per_rule.entry(f.rule).or_default() += 1;
+        println!("{}:{}: {}: {}", f.rel, f.line, f.rule, f.excerpt);
+        println!("    hint: {}", f.hint);
+    }
+
+    for e in entries.iter().filter(|e| e.hits == 0) {
+        eprintln!(
+            "warning: lint.toml:{}: unused allowlist entry ({} | {} | {}) — reason was: {}",
+            e.line, e.rule, e.file, e.contains, e.reason
+        );
+    }
+
+    let scanned = files.len();
+    if reported == 0 {
+        println!(
+            "prvm-lint: clean — {scanned} files scanned, {allowed} finding(s) allowlisted ({} entries)",
+            entries.len()
+        );
+        Ok(true)
+    } else {
+        let by_rule: Vec<String> = per_rule.iter().map(|(r, c)| format!("{r}×{c}")).collect();
+        println!(
+            "prvm-lint: {reported} finding(s) [{}] in {scanned} files ({allowed} allowlisted); see `--rules` and lint.toml",
+            by_rule.join(", ")
+        );
+        Ok(false)
+    }
+}
+
+/// Locate the workspace root: walk up from the current directory until a
+/// `Cargo.toml` containing `[workspace]` appears.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace Cargo.toml found above the current directory \
+                 (run from the repo or pass --root)"
+                .to_string());
+        }
+    }
+}
+
+/// Read and mask every `.rs` file under `crates/*/src`.
+fn collect_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    for krate in read_dir_sorted(&crates_dir)? {
+        let src = krate.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let crate_is_lib = src.join("lib.rs").is_file();
+        let mut stack = vec![src.clone()];
+        while let Some(dir) = stack.pop() {
+            for path in read_dir_sorted(&dir)? {
+                if path.is_dir() {
+                    stack.push(path);
+                    continue;
+                }
+                if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+                    continue;
+                }
+                let rel = path
+                    .strip_prefix(root)
+                    .map_err(|e| e.to_string())?
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                let is_bin =
+                    !crate_is_lib || rel.ends_with("/src/main.rs") || rel.contains("/src/bin/");
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                out.push(SourceFile {
+                    rel,
+                    is_bin,
+                    lines: scan::mask(&text),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let rd = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in rd {
+        paths.push(entry.map_err(|e| e.to_string())?.path());
+    }
+    paths.sort();
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_table_lists_all_five_rules() {
+        for rule in ["L001", "L002", "L003", "L004", "L005"] {
+            assert!(RULE_TABLE.contains(rule));
+        }
+    }
+
+    #[test]
+    fn lint_run_on_this_workspace_is_clean() {
+        // The repo's own acceptance criterion: the shipped tree lints clean
+        // against the shipped allowlist.
+        let root = find_workspace_root().expect("workspace root");
+        let clean = run(&root, &root.join("lint.toml")).expect("lint run");
+        assert!(clean, "prvm-lint reports findings on the shipped tree");
+    }
+}

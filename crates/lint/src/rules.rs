@@ -1,0 +1,427 @@
+//! The project-specific lint rules L001–L005.
+//!
+//! Each rule operates on the masked lines produced by `scan.rs`, so string
+//! and comment text never triggers findings. Rules are scoped by crate and
+//! file as documented in DESIGN.md §8:
+//!
+//! * **L001** — no `unwrap()` / `expect()` outside tests and binary targets.
+//! * **L002** — no lossy `as` numeric casts in `core` / `model`
+//!   (`crates/model/src/units.rs` is the sanctioned conversion layer and
+//!   is exempt).
+//! * **L003** — no raw `f64` resource arithmetic in `core` / `sim` that
+//!   bypasses the `units.rs` newtypes.
+//! * **L004** — no unchecked slice indexing in the hot paths
+//!   (`graph.rs`, `pagerank.rs`, `placer.rs`).
+//! * **L005** — every `pub fn` in `core` that can panic documents a
+//!   `# Panics` section.
+
+use crate::scan::SourceFile;
+
+/// A single lint finding.
+#[derive(Debug)]
+pub struct Finding {
+    /// Rule identifier, e.g. `"L001"`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub rel: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The raw source line (trimmed), for allowlist matching and display.
+    pub excerpt: String,
+    /// Actionable fix hint.
+    pub hint: &'static str,
+}
+
+const NUMERIC_TYPES: [&str; 15] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64", "NodeId",
+];
+
+const PANIC_TOKENS: [&str; 9] = [
+    "panic!",
+    ".unwrap()",
+    ".expect(",
+    "assert!",
+    "assert_eq!",
+    "assert_ne!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+fn crate_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("")
+}
+
+/// Run every rule against `file`, appending findings to `out`.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    l001_no_unwrap(file, out);
+    l002_no_lossy_cast(file, out);
+    l003_no_raw_resource_math(file, out);
+    l004_no_unchecked_index(file, out);
+    l005_panics_documented(file, out);
+}
+
+fn push(
+    out: &mut Vec<Finding>,
+    file: &SourceFile,
+    n: usize,
+    rule: &'static str,
+    hint: &'static str,
+) {
+    out.push(Finding {
+        rule,
+        rel: file.rel.clone(),
+        line: n + 1,
+        excerpt: file.lines[n].raw.trim().to_string(),
+        hint,
+    });
+}
+
+/// L001: `unwrap()` / `expect()` are reserved for tests and binaries.
+fn l001_no_unwrap(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.is_bin {
+        return;
+    }
+    for (n, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if line.code.contains(".unwrap()") || line.code.contains(".expect(") {
+            push(
+                out,
+                file,
+                n,
+                "L001",
+                "propagate the error (`?`, `ok_or`, `match`) or justify the invariant in lint.toml",
+            );
+        }
+    }
+}
+
+/// L002: lossy `as` numeric casts in `core` / `model`.
+fn l002_no_lossy_cast(file: &SourceFile, out: &mut Vec<Finding>) {
+    let krate = crate_of(&file.rel);
+    if !(krate == "core" || krate == "model") || file.rel.ends_with("units.rs") {
+        return;
+    }
+    for (n, line) in file.lines.iter().enumerate() {
+        if !line.in_test && has_numeric_cast(&line.code) {
+            push(
+                out,
+                file,
+                n,
+                "L002",
+                "use From/TryFrom or the units.rs conversions instead of a lossy `as` cast",
+            );
+        }
+    }
+}
+
+/// L003: raw `f64` resource arithmetic bypassing the unit newtypes.
+fn l003_no_raw_resource_math(file: &SourceFile, out: &mut Vec<Finding>) {
+    let krate = crate_of(&file.rel);
+    if !(krate == "core" || krate == "sim") {
+        return;
+    }
+    for (n, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let c = &line.code;
+        let unit_from_float =
+            ["Mhz(", "MemMib(", "DiskGb("].iter().any(|p| c.contains(p)) && c.contains("as u64");
+        if c.contains(".get() as f64") || c.contains(".0 as f64") || unit_from_float {
+            push(
+                out,
+                file,
+                n,
+                "L003",
+                "route the conversion through units.rs (`as_f64`, `fraction_of`, `from_f64_*`)",
+            );
+        }
+    }
+}
+
+/// L004: unchecked slice indexing in the hot paths.
+fn l004_no_unchecked_index(file: &SourceFile, out: &mut Vec<Finding>) {
+    let hot = [
+        "core/src/graph.rs",
+        "core/src/pagerank.rs",
+        "core/src/placer.rs",
+    ];
+    if !hot.iter().any(|h| file.rel.ends_with(h)) {
+        return;
+    }
+    for (n, line) in file.lines.iter().enumerate() {
+        if !line.in_test && has_index_expr(&line.code) {
+            push(
+                out,
+                file,
+                n,
+                "L004",
+                "prefer iterators/zip, `.get()`, or an audited accessor with a documented bound",
+            );
+        }
+    }
+}
+
+/// L005: public `core` functions that can panic must say so.
+fn l005_panics_documented(file: &SourceFile, out: &mut Vec<Finding>) {
+    if crate_of(&file.rel) != "core" {
+        return;
+    }
+    for n in 0..file.lines.len() {
+        let line = &file.lines[n];
+        if line.in_test || !starts_pub_fn(&line.code) {
+            continue;
+        }
+        let Some(body) = fn_body(file, n) else {
+            continue;
+        };
+        if !body_can_panic(&body) {
+            continue;
+        }
+        if !doc_block_mentions_panics(file, n) {
+            push(
+                out,
+                file,
+                n,
+                "L005",
+                "add a `# Panics` doc section (or remove the panic path)",
+            );
+        }
+    }
+}
+
+/// Does masked code contain a standalone `as <numeric-type>`?
+fn has_numeric_cast(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while let Some(off) = code[i..].find("as") {
+        let start = i + off;
+        let end = start + 2;
+        i = end;
+        let left_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        if !left_ok {
+            continue;
+        }
+        let rest = code[end..].trim_start();
+        if rest.len() == code[end..].len() && !rest.is_empty() {
+            continue; // `as` fused with the next token (e.g. `assert`)
+        }
+        let ty: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if NUMERIC_TYPES.contains(&ty.as_str()) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Does masked code contain an index expression `expr[...]`?
+fn has_index_expr(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    for (pos, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        // rustfmt never leaves a space before an index `[`; a space
+        // means type position (`&'a [T]`) or a slice pattern.
+        let j = pos;
+        if j == 0 || bytes[j - 1] == b' ' {
+            continue;
+        }
+        let prev = bytes[j - 1];
+        if is_ident_byte(prev) || prev == b')' || prev == b']' {
+            return true;
+        }
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn starts_pub_fn(code: &str) -> bool {
+    let t = code.trim_start();
+    t.starts_with("pub fn ") || t.starts_with("pub const fn ") || t.starts_with("pub async fn ")
+}
+
+/// Masked text of the function body starting at signature line `n`
+/// (`None` for bodyless trait declarations).
+fn fn_body(file: &SourceFile, n: usize) -> Option<String> {
+    let mut depth = 0usize;
+    let mut started = false;
+    let mut body = String::new();
+    for line in &file.lines[n..] {
+        for ch in line.code.chars() {
+            if !started {
+                match ch {
+                    '{' => {
+                        started = true;
+                        depth = 1;
+                    }
+                    ';' => return None,
+                    _ => {}
+                }
+                continue;
+            }
+            if ch == '{' {
+                depth += 1;
+            } else if ch == '}' {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(body);
+                }
+            }
+            body.push(ch);
+        }
+        body.push('\n');
+    }
+    Some(body)
+}
+
+fn body_can_panic(body: &str) -> bool {
+    PANIC_TOKENS.iter().any(|tok| contains_token(body, tok))
+}
+
+/// Substring search with a left word boundary, so `debug_assert!` does not
+/// match the `assert!` token (debug assertions vanish in release builds).
+/// Tokens starting with `.` (method calls) need no boundary check.
+fn contains_token(haystack: &str, token: &str) -> bool {
+    if token.starts_with('.') {
+        return haystack.contains(token);
+    }
+    let bytes = haystack.as_bytes();
+    let mut i = 0;
+    while let Some(off) = haystack[i..].find(token) {
+        let start = i + off;
+        if start == 0 || !is_ident_byte(bytes[start - 1]) {
+            return true;
+        }
+        i = start + 1;
+    }
+    false
+}
+
+/// Walk upward from the `pub fn` line through attributes and doc lines;
+/// true if any doc line mentions `# Panics`.
+fn doc_block_mentions_panics(file: &SourceFile, n: usize) -> bool {
+    for line in file.lines[..n].iter().rev() {
+        let t = line.raw.trim();
+        if line.is_doc {
+            if t.contains("# Panics") {
+                return true;
+            }
+        } else if !(t.starts_with("#[") || t.starts_with("#!") || t.ends_with(']')) {
+            return false; // left the doc/attribute block
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::mask;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile {
+            rel: rel.to_string(),
+            is_bin: false,
+            lines: mask(src),
+        }
+    }
+
+    fn rules_fired(rel: &str, src: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        check(&file(rel, src), &mut out);
+        out.iter()
+            .map(|f| format!("{}:{}", f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn l001_fires_outside_tests_only() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn b() { y.expect(\"e\"); }\n}\n";
+        assert_eq!(rules_fired("crates/sim/src/engine.rs", src), ["L001:1"]);
+    }
+
+    #[test]
+    fn l001_skips_bins() {
+        let mut f = file("crates/cli/src/main.rs", "fn a() { x.unwrap(); }\n");
+        f.is_bin = true;
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn l002_catches_numeric_casts_in_core_and_model_only() {
+        let src = "fn a(n: u64) -> usize { n as usize }\n";
+        assert_eq!(rules_fired("crates/core/src/table.rs", src), ["L002:1"]);
+        assert_eq!(rules_fired("crates/model/src/pm.rs", src), ["L002:1"]);
+        assert!(rules_fired("crates/traces/src/gen.rs", src).is_empty());
+        assert!(rules_fired("crates/model/src/units.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l002_ignores_non_cast_as_tokens() {
+        let src = "use std::fmt as f;\nfn a() { assert_eq!(1, 1); }\n";
+        assert!(rules_fired("crates/core/src/graph.rs", src)
+            .iter()
+            .all(|r| !r.starts_with("L002")));
+    }
+
+    #[test]
+    fn l003_catches_raw_resource_math() {
+        let src = "fn a(m: Mhz) -> f64 { m.get() as f64 }\nfn b(x: f64) -> Mhz { Mhz(x.round() as u64) }\n";
+        let fired = rules_fired("crates/sim/src/engine.rs", src);
+        assert!(fired.contains(&"L003:1".to_string()));
+        assert!(fired.contains(&"L003:2".to_string()));
+    }
+
+    #[test]
+    fn l004_flags_indexing_in_hot_paths_only() {
+        let src = "fn a(v: &[u64], i: usize) -> u64 { v[i] }\n";
+        assert!(rules_fired("crates/core/src/pagerank.rs", src).contains(&"L004:1".to_string()));
+        assert!(rules_fired("crates/core/src/table.rs", src)
+            .iter()
+            .all(|r| !r.starts_with("L004")));
+    }
+
+    #[test]
+    fn l004_ignores_attributes_array_types_and_macros() {
+        let src = "#[derive(Debug)]\nfn a(v: &[u64]) -> Vec<u64> { vec![0; 4] }\n";
+        assert!(rules_fired("crates/core/src/graph.rs", src)
+            .iter()
+            .all(|r| !r.starts_with("L004")));
+    }
+
+    #[test]
+    fn l005_requires_panics_section() {
+        let undocumented =
+            "/// Does things.\npub fn a(x: Option<u32>) -> u32 {\n    x.expect(\"present\")\n}\n";
+        assert!(
+            rules_fired("crates/core/src/bpru.rs", undocumented).contains(&"L005:2".to_string())
+        );
+        let documented = "/// Does things.\n///\n/// # Panics\n/// Panics when absent.\n#[must_use]\npub fn a(x: Option<u32>) -> u32 {\n    x.expect(\"present\")\n}\n";
+        assert!(rules_fired("crates/core/src/bpru.rs", documented)
+            .iter()
+            .all(|r| !r.starts_with("L005")));
+    }
+
+    #[test]
+    fn l005_ignores_debug_asserts_and_calm_bodies() {
+        let src = "/// Fine.\npub fn a(x: u32) -> u32 {\n    debug_assert!(x > 0);\n    x + 1\n}\n";
+        assert!(rules_fired("crates/core/src/profile.rs", src)
+            .iter()
+            .all(|r| !r.starts_with("L005")));
+    }
+}

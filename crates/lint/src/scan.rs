@@ -1,0 +1,362 @@
+//! Source masking: strip comments and literal contents while preserving
+//! line structure, and mark `#[cfg(test)]`-gated regions.
+//!
+//! The scanner is deliberately lexical, not a full parser: it tracks just
+//! enough state (strings, raw strings, char literals vs. lifetimes, nested
+//! block comments, line/doc comments) to let the rules in `rules.rs`
+//! pattern-match on *code* without tripping over comment or string text.
+//! It assumes rustfmt-canonical input, which CI enforces.
+
+/// One source line, in raw and code-only (masked) form.
+#[derive(Debug)]
+pub struct Line {
+    /// The original text of the line.
+    pub raw: String,
+    /// The line with comments removed and string/char literal contents
+    /// blanked to spaces (delimiters blanked too).
+    pub code: String,
+    /// True when the line is a `///` or `//!` doc comment.
+    pub is_doc: bool,
+    /// True when the line sits inside a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+}
+
+/// A fully scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with forward slashes.
+    pub rel: String,
+    /// True for binary targets (`src/main.rs`, `src/bin/*`, or any file of
+    /// a crate without `src/lib.rs`).
+    pub is_bin: bool,
+    /// Scanned lines, 0-indexed (line numbers in findings are 1-based).
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment { doc: bool },
+    BlockComment { depth: usize },
+    Str,
+    RawStr { hashes: usize },
+    CharLit,
+}
+
+/// Mask `text` into per-line raw/code pairs.
+pub fn mask(text: &str) -> Vec<Line> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut masked = String::with_capacity(text.len());
+    let mut doc_starts: Vec<usize> = Vec::new(); // offsets (in chars) where a doc comment begins
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            // Newlines always survive masking; line comments end here.
+            if matches!(state, State::LineComment { .. }) {
+                state = State::Code;
+            }
+            masked.push('\n');
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && next == Some('/') {
+                    let third = chars.get(i + 2).copied();
+                    // `////...` separators are plain comments, not docs.
+                    let doc = (third == Some('/') && chars.get(i + 3).copied() != Some('/'))
+                        || third == Some('!');
+                    if doc {
+                        doc_starts.push(i);
+                    }
+                    state = State::LineComment { doc };
+                    masked.push(' ');
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment { depth: 1 };
+                    masked.push_str("  ");
+                    i += 2;
+                    continue;
+                } else if c == '"' {
+                    state = State::Str;
+                    masked.push(' ');
+                } else if (c == 'r' || c == 'b') && is_raw_string_start(&chars, i) {
+                    let (hashes, consumed) = raw_string_open(&chars, i);
+                    state = State::RawStr { hashes };
+                    for _ in 0..consumed {
+                        masked.push(' ');
+                    }
+                    i += consumed;
+                    continue;
+                } else if c == 'b' && next == Some('"') {
+                    state = State::Str;
+                    masked.push_str("  ");
+                    i += 2;
+                    continue;
+                } else if c == 'b' && next == Some('\'') {
+                    state = State::CharLit;
+                    masked.push_str("  ");
+                    i += 2;
+                    continue;
+                } else if c == '\'' {
+                    if char_literal_starts(&chars, i) {
+                        state = State::CharLit;
+                        masked.push(' ');
+                    } else {
+                        // Lifetime: keep the tick, the ident that follows is code.
+                        masked.push('\'');
+                    }
+                } else {
+                    masked.push(c);
+                }
+            }
+            State::LineComment { .. } => masked.push(' '),
+            State::BlockComment { depth } => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment { depth: depth - 1 }
+                    };
+                    masked.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment { depth: depth + 1 };
+                    masked.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                masked.push(' ');
+            }
+            State::Str => {
+                if c == '\\' {
+                    masked.push_str("  ");
+                    i += 2;
+                    // An escaped newline keeps the string open; keep structure.
+                    if next == Some('\n') {
+                        masked.pop();
+                        masked.push('\n');
+                    }
+                    continue;
+                }
+                if c == '"' {
+                    state = State::Code;
+                }
+                masked.push(' ');
+            }
+            State::RawStr { hashes } => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    for _ in 0..=hashes {
+                        masked.push(' ');
+                    }
+                    i += 1 + hashes;
+                    state = State::Code;
+                    continue;
+                }
+                masked.push(' ');
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    masked.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '\'' {
+                    state = State::Code;
+                }
+                masked.push(' ');
+            }
+        }
+        i += 1;
+    }
+
+    let doc_lines: std::collections::HashSet<usize> = {
+        let mut line_of = Vec::new();
+        let mut line = 0usize;
+        for &ch in &chars {
+            line_of.push(line);
+            if ch == '\n' {
+                line += 1;
+            }
+        }
+        doc_starts.iter().map(|&off| line_of[off]).collect()
+    };
+
+    let mut lines: Vec<Line> = text
+        .split('\n')
+        .zip(masked.split('\n'))
+        .enumerate()
+        .map(|(n, (raw, code))| Line {
+            raw: raw.to_string(),
+            code: code.to_string(),
+            is_doc: doc_lines.contains(&n),
+            in_test: false,
+        })
+        .collect();
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// `r"`, `r#"`, `br"`, `br#"` … raw string openers.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j).copied() != Some('r') {
+        return false;
+    }
+    // `r` must not be the tail of an identifier (`var"` is not valid Rust,
+    // but `for r in` must not trigger either — the quote check handles it).
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j).copied() == Some('#') {
+        j += 1;
+    }
+    chars.get(j).copied() == Some('"')
+}
+
+/// Length of the raw-string opener (`r##"` → 4) and its hash count.
+fn raw_string_open(chars: &[char], i: usize) -> (usize, usize) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0;
+    while chars.get(j).copied() == Some('#') {
+        hashes += 1;
+        j += 1;
+    }
+    (hashes, j + 1 - i) // include the opening quote
+}
+
+fn closes_raw(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k).copied() == Some('#'))
+}
+
+/// `'a'` and `'\n'` are char literals; `'a` (in `<'a>`) is a lifetime.
+fn char_literal_starts(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1).copied() {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2).copied() == Some('\''),
+        None => false,
+    }
+}
+
+/// Mark lines covered by a `#[cfg(test)]`-gated item (typically
+/// `mod tests { … }`): from the attribute to the matching close brace.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut pending = false;
+    let mut region_depth: Option<usize> = None;
+    let mut depth = 0usize;
+    for line in lines.iter_mut() {
+        let code = line.code.clone();
+        if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
+            pending = true;
+        }
+        if pending || region_depth.is_some() {
+            line.in_test = true;
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending {
+                        pending = false;
+                        region_depth = Some(depth);
+                    }
+                }
+                '}' => {
+                    if region_depth == Some(depth) {
+                        region_depth = None;
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                ';' if pending && region_depth.is_none() => {
+                    // `#[cfg(test)] use …;` — gates a single statement.
+                    pending = false;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        mask(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let c = codes("let x = 1; // unwrap()\nlet y = /* as f64 */ 2;\n");
+        assert!(!c[0].contains("unwrap"));
+        assert!(c[0].contains("let x = 1;"));
+        assert!(!c[1].contains("as f64"));
+        assert!(c[1].contains("2;"));
+    }
+
+    #[test]
+    fn strips_string_contents_but_keeps_code() {
+        let c = codes("foo(\"x.unwrap()\"); bar.unwrap();\n");
+        assert_eq!(c[0].matches(".unwrap()").count(), 1);
+        assert!(c[0].contains("bar.unwrap();"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let c = codes("let s = r#\"as u64 \"quoted\"\"#; s.expect(\"\\\" as f64\");\n");
+        assert!(!c[0].contains("as u64"));
+        assert!(!c[0].contains("as f64"));
+        assert!(c[0].contains(".expect("));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let c = codes("fn f<'a>(x: &'a str) -> char { 'x' }\nlet y = x[0];\n");
+        assert!(c[0].contains("fn f<'a>(x: &'a str)"));
+        assert!(!c[0].contains("'x'"));
+        assert!(c[1].contains("x[0]"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let c = codes("a /* outer /* inner */ still */ b.unwrap()\n");
+        assert!(c[0].contains("b.unwrap()"));
+        assert!(!c[0].contains("still"));
+    }
+
+    #[test]
+    fn doc_lines_flagged() {
+        let lines = mask("/// # Panics\n//// separator\nfn f() {}\n");
+        assert!(lines[0].is_doc);
+        assert!(!lines[1].is_doc);
+        assert!(!lines[2].is_doc);
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn b() { y.unwrap(); }\n}\nfn c() {}\n";
+        let lines = mask(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test && lines[2].in_test && lines[3].in_test && lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_statement_does_not_swallow_file() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn c() { z.unwrap(); }\n";
+        let lines = mask(src);
+        assert!(!lines[2].in_test);
+    }
+}

@@ -4,6 +4,7 @@
 use crate::assignment::Assignment;
 use crate::error::ModelError;
 use crate::pm::{Pm, PmSpec};
+use crate::units::Mhz;
 use crate::vm::VmSpec;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -183,9 +184,12 @@ impl Cluster {
     /// Returns [`ModelError::UnknownVm`] for an unknown id.
     pub fn remove(&mut self, id: VmId) -> Result<(PmId, VmSpec, Assignment), ModelError> {
         let pm = self.location.remove(&id).ok_or(ModelError::UnknownVm(id))?;
-        let (spec, assignment) = self.pms[pm.0]
-            .remove(id)
-            .expect("location map and PM state agree");
+        let Ok((spec, assignment)) = self.pms[pm.0].remove(id) else {
+            // The location map said `pm` hosts `id` but the PM disagrees —
+            // a bookkeeping bug. Surface it as loudly as the build allows.
+            debug_assert!(false, "location map and PM state disagree for VM {}", id.0);
+            return Err(ModelError::UnknownVm(id));
+        };
         if self.pms[pm.0].is_empty() {
             self.used.retain(|&p| p != pm);
             self.unused.push_back(pm);
@@ -209,8 +213,8 @@ impl Cluster {
         match self.place_as(id, to, spec.clone(), assignment) {
             Ok(()) => Ok(()),
             Err(e) => {
-                self.place_as(id, from, spec, old)
-                    .expect("restoring a just-removed VM cannot fail");
+                let restored = self.place_as(id, from, spec, old);
+                debug_assert!(restored.is_ok(), "restoring a just-removed VM cannot fail");
                 Err(e)
             }
         }
@@ -220,18 +224,14 @@ impl Cluster {
     /// (0.0 if none are active).
     #[must_use]
     pub fn active_cpu_utilization(&self) -> f64 {
-        let (used, cap) = self.used.iter().fold((0u64, 0u64), |(u, c), &pm| {
-            let pm = &self.pms[pm.0];
-            (
-                u + pm.total_cpu_used().get(),
-                c + pm.spec().total_cpu().get(),
-            )
-        });
-        if cap == 0 {
-            0.0
-        } else {
-            used as f64 / cap as f64
-        }
+        let (used, cap) = self
+            .used
+            .iter()
+            .fold((Mhz::ZERO, Mhz::ZERO), |(u, c), &pm| {
+                let pm = &self.pms[pm.0];
+                (u + pm.total_cpu_used(), c + pm.spec().total_cpu())
+            });
+        used.fraction_of(cap)
     }
 }
 

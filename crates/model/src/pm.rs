@@ -9,7 +9,7 @@ use crate::assignment::Assignment;
 use crate::cluster::VmId;
 use crate::combin;
 use crate::error::ModelError;
-use crate::units::{DiskGb, MemMib, Mhz};
+use crate::units::{convert, DiskGb, MemMib, Mhz};
 use crate::vm::VmSpec;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -107,7 +107,7 @@ impl Pm {
     /// A fresh, empty machine of the given type.
     #[must_use]
     pub fn new(spec: PmSpec) -> Self {
-        let cores = spec.cores as usize;
+        let cores = convert::u32_to_usize(spec.cores);
         let disks = spec.disks.len();
         Self {
             spec,
@@ -237,7 +237,7 @@ impl Pm {
         }
         let core_used: Vec<u64> = self.core_used.iter().map(|m| m.get()).collect();
         let core_caps = vec![self.spec.core_mhz.get(); core_used.len()];
-        let cpu_demands = vec![vm.vcpu_mhz.get(); vm.vcpus as usize];
+        let cpu_demands = vec![vm.vcpu_mhz.get(); convert::u32_to_usize(vm.vcpus)];
         let cores = combin::first_feasible(&core_used, &core_caps, &cpu_demands)?;
 
         let disk_used: Vec<u64> = self.disk_used.iter().map(|d| d.get()).collect();
@@ -257,7 +257,7 @@ impl Pm {
         }
         let core_used: Vec<u64> = self.core_used.iter().map(|m| m.get()).collect();
         let core_caps = vec![self.spec.core_mhz.get(); core_used.len()];
-        let cpu_demands = vec![vm.vcpu_mhz.get(); vm.vcpus as usize];
+        let cpu_demands = vec![vm.vcpu_mhz.get(); convert::u32_to_usize(vm.vcpus)];
         let core_options = combin::distinct_placements(&core_used, &core_caps, &cpu_demands);
         if core_options.is_empty() {
             return Vec::new();
@@ -291,7 +291,7 @@ impl Pm {
         let invalid = |reason: &str| ModelError::InvalidAssignment {
             reason: reason.to_string(),
         };
-        if assignment.cores.len() != vm.vcpus as usize {
+        if assignment.cores.len() != convert::u32_to_usize(vm.vcpus) {
             return Err(invalid("core list length != vCPU count"));
         }
         if assignment.disks.len() != vm.disks().len() {

@@ -9,6 +9,7 @@
 //! per-dimension check up to slot granularity).
 
 use crate::pm::{Pm, PmSpec};
+use crate::units::convert;
 use crate::vm::VmSpec;
 use serde::{Deserialize, Serialize};
 
@@ -113,7 +114,7 @@ impl Quantizer {
             self.disk_levels
         };
         QuantizedPm {
-            cores: pm.cores as usize,
+            cores: convert::u32_to_usize(pm.cores),
             core_cap: self.core_slots,
             mem_cap: if pm.memory.get() == 0 {
                 0
@@ -141,7 +142,7 @@ impl Quantizer {
         disk_units.sort_unstable_by(|a, b| b.cmp(a));
         QuantizedVm {
             name: vm.name.clone(),
-            vcpus: vm.vcpus as usize,
+            vcpus: convert::u32_to_usize(vm.vcpus),
             vcpu_slots,
             mem_units,
             disk_units,
@@ -159,7 +160,7 @@ impl Quantizer {
     #[must_use]
     pub fn quantized_usage(&self, pm: &Pm) -> (Vec<u64>, u64, Vec<u64>) {
         let spec = pm.spec();
-        let mut cores = vec![0u64; spec.cores as usize];
+        let mut cores = vec![0u64; convert::u32_to_usize(spec.cores)];
         let mut mem = 0u64;
         let mut disks = vec![0u64; spec.disks().len()];
         for (_, vm, assignment) in pm.vms() {

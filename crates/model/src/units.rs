@@ -30,6 +30,30 @@ macro_rules! unit_newtype {
                 self.0
             }
 
+            /// The quantity as an `f64` (for trace-driven scaling and
+            /// reporting; capacity decisions must stay integer-exact).
+            #[inline]
+            #[must_use]
+            pub fn as_f64(self) -> f64 {
+                self.0 as f64
+            }
+
+            /// Build a quantity from a (possibly fractional) `f64`,
+            /// rounding to the nearest whole unit. Negative, `NaN` and
+            /// infinite inputs clamp to the representable range — this is
+            /// the sanctioned entry point for float-world demand figures
+            /// (trace multipliers, burst factors) back into exact units.
+            #[inline]
+            #[must_use]
+            pub fn from_f64_rounded(value: f64) -> Self {
+                if value.is_nan() {
+                    return Self::ZERO;
+                }
+                // `as` saturates on floats, but clamp explicitly so the
+                // intent survives any future cast-semantics change.
+                Self(value.round().clamp(0.0, u64::MAX as f64) as u64)
+            }
+
             /// Saturating subtraction; never underflows.
             #[inline]
             #[must_use]
@@ -154,6 +178,57 @@ impl MemMib {
     }
 }
 
+/// Lossless (or explicitly saturating) integer conversions.
+///
+/// This module and the unit newtypes above are the workspace's *sanctioned
+/// conversion layer*: the `prvm-lint` rules L002/L003 forbid raw `as`
+/// numeric casts elsewhere in `core`/`model`, so every widening or
+/// saturating conversion is concentrated here where its (non-)lossiness is
+/// documented and tested.
+pub mod convert {
+    /// Widen a `u32` count (vCPUs, cores) to a `usize` index. Lossless:
+    /// every supported target has at least 32-bit pointers.
+    #[inline]
+    #[must_use]
+    pub const fn u32_to_usize(n: u32) -> usize {
+        n as usize
+    }
+
+    /// Widen a `usize` count to `u64`. Lossless: no supported target has
+    /// pointers wider than 64 bits.
+    #[inline]
+    #[must_use]
+    pub const fn usize_to_u64(n: usize) -> u64 {
+        n as u64
+    }
+
+    /// A `usize` count as an `f64` (means, fractions, rates). Counts in
+    /// this workspace are far below 2^53, so the conversion is exact.
+    #[inline]
+    #[must_use]
+    pub fn usize_to_f64(n: usize) -> f64 {
+        n as f64
+    }
+
+    /// A `u64` quantity as an `f64` (reporting only; may round above
+    /// 2^53, which no resource figure in this model reaches).
+    #[inline]
+    #[must_use]
+    pub fn u64_to_f64(n: u64) -> f64 {
+        n as f64
+    }
+
+    /// Narrow a `u64` to `u16`, saturating at `u16::MAX`. Used for
+    /// quantized profile caps, which the quantizer keeps tiny; saturation
+    /// (rather than truncation) keeps an out-of-range cap visibly maxed
+    /// instead of silently wrapped.
+    #[inline]
+    #[must_use]
+    pub fn u64_to_u16_saturating(n: u64) -> u16 {
+        u16::try_from(n).unwrap_or(u16::MAX)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +280,34 @@ mod tests {
     fn sum_over_iterator() {
         let total: DiskGb = [DiskGb(4), DiskGb(32), DiskGb(40)].into_iter().sum();
         assert_eq!(total, DiskGb(76));
+    }
+
+    #[test]
+    fn from_f64_rounded_handles_boundaries() {
+        assert_eq!(Mhz::from_f64_rounded(2599.5), Mhz(2600));
+        assert_eq!(Mhz::from_f64_rounded(0.4), Mhz::ZERO);
+        assert_eq!(Mhz::from_f64_rounded(-17.0), Mhz::ZERO);
+        assert_eq!(Mhz::from_f64_rounded(f64::NAN), Mhz::ZERO);
+        assert_eq!(Mhz::from_f64_rounded(f64::NEG_INFINITY), Mhz::ZERO);
+        assert_eq!(Mhz::from_f64_rounded(f64::INFINITY), Mhz(u64::MAX));
+    }
+
+    #[test]
+    fn as_f64_round_trips_small_quantities() {
+        assert_eq!(Mhz(2600).as_f64(), 2600.0);
+        assert_eq!(MemMib::ZERO.as_f64(), 0.0);
+    }
+
+    #[test]
+    fn convert_boundaries() {
+        use super::convert::*;
+        assert_eq!(u32_to_usize(u32::MAX), u32::MAX as usize);
+        assert_eq!(usize_to_u64(0), 0);
+        assert_eq!(usize_to_f64(4096), 4096.0);
+        assert_eq!(u64_to_f64(1 << 52), (1u64 << 52) as f64);
+        assert_eq!(u64_to_u16_saturating(65535), u16::MAX);
+        assert_eq!(u64_to_u16_saturating(65536), u16::MAX);
+        assert_eq!(u64_to_u16_saturating(7), 7);
     }
 
     #[test]

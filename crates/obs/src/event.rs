@@ -69,7 +69,9 @@ pub fn init(config: ObsConfig) -> io::Result<()> {
     };
     epoch();
     let enabled = config.log != LogMode::Off || file.is_some();
-    *SINK.write().expect("sink lock") = Some(Sink {
+    *SINK
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Sink {
         log: config.log,
         file,
     });
@@ -85,9 +87,15 @@ pub fn is_enabled() -> bool {
 /// Flush any buffered events-file output. Call before process exit and
 /// before handing an events file to a reader.
 pub fn flush() -> io::Result<()> {
-    if let Some(sink) = SINK.read().expect("sink lock").as_ref() {
+    if let Some(sink) = SINK
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .as_ref()
+    {
         if let Some(file) = &sink.file {
-            file.lock().expect("events file lock").flush()?;
+            file.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .flush()?;
         }
     }
     Ok(())
@@ -195,13 +203,17 @@ fn pretty_value(value: &Value) -> String {
 
 fn deliver(data: EventData) {
     let span = crate::span::current_path();
-    let guard = SINK.read().expect("sink lock");
+    let guard = SINK
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let Some(sink) = guard.as_ref() else {
         return;
     };
     // One emitter at a time, so sink order always matches `seq` order.
     static DELIVER: Mutex<()> = Mutex::new(());
-    let _serialized = DELIVER.lock().expect("deliver lock");
+    let _serialized = DELIVER
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let seq = SEQ.fetch_add(1, Ordering::Relaxed) + 1;
     let ts_s = epoch().elapsed().as_secs_f64();
     let needs_json = sink.log == LogMode::Json || sink.file.is_some();
@@ -224,11 +236,17 @@ fn deliver(data: EventData) {
                 ),
             ),
         ]);
-        serde_json::to_string(&envelope).expect("event serializes")
+        // An unserializable envelope (cannot happen with these value
+        // types) degrades to an empty object rather than aborting a run.
+        serde_json::to_string(&envelope).unwrap_or_else(|_| "{}".to_owned())
     });
     match sink.log {
         LogMode::Off => {}
-        LogMode::Json => eprintln!("{}", json.as_deref().expect("json rendered")),
+        LogMode::Json => {
+            if let Some(json) = json.as_deref() {
+                eprintln!("{json}");
+            }
+        }
         LogMode::Pretty => {
             let mut line = format!("[{ts_s:10.6}s] {:<22}", data.name);
             if let Some(span) = &span {
@@ -240,10 +258,12 @@ fn deliver(data: EventData) {
             eprintln!("{line}");
         }
     }
-    if let Some(file) = &sink.file {
-        let mut file = file.lock().expect("events file lock");
+    if let (Some(file), Some(json)) = (&sink.file, json.as_deref()) {
+        let mut file = file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         // Losing log lines on a full disk is not worth crashing a run.
-        let _ = writeln!(file, "{}", json.as_deref().expect("json rendered"));
+        let _ = writeln!(file, "{json}");
     }
 }
 

@@ -66,17 +66,26 @@ pub struct Series(Mutex<Vec<f64>>);
 impl Series {
     /// Append one observation.
     pub fn push(&self, value: f64) {
-        self.0.lock().expect("series lock").push(value);
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(value);
     }
 
     /// Copy of all observations in insertion order.
     pub fn values(&self) -> Vec<f64> {
-        self.0.lock().expect("series lock").clone()
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Number of observations.
     pub fn len(&self) -> usize {
-        self.0.lock().expect("series lock").len()
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// True when nothing has been recorded.
@@ -85,7 +94,10 @@ impl Series {
     }
 
     fn reset(&self) {
-        self.0.lock().expect("series lock").clear();
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
     }
 }
 
@@ -238,12 +250,16 @@ pub struct Registry {
 }
 
 fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
-    if let Some(found) = map.read().expect("registry lock").get(name) {
+    if let Some(found) = map
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(name)
+    {
         return Arc::clone(found);
     }
     Arc::clone(
         map.write()
-            .expect("registry lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .entry(name.to_owned())
             .or_default(),
     )
@@ -285,16 +301,36 @@ impl Registry {
 
     /// Zero every metric in place. Cached handles stay valid.
     pub fn reset(&self) {
-        for counter in self.counters.read().expect("registry lock").values() {
+        for counter in self
+            .counters
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+        {
             counter.reset();
         }
-        for gauge in self.gauges.read().expect("registry lock").values() {
+        for gauge in self
+            .gauges
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+        {
             gauge.reset();
         }
-        for histogram in self.histograms.read().expect("registry lock").values() {
+        for histogram in self
+            .histograms
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+        {
             histogram.reset();
         }
-        for series in self.series.read().expect("registry lock").values() {
+        for series in self
+            .series
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+        {
             series.reset();
         }
     }
@@ -304,7 +340,7 @@ impl Registry {
         let histograms: Vec<(String, HistogramSnapshot)> = self
             .histograms
             .read()
-            .expect("registry lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(name, h)| (name.clone(), h.snapshot()))
             .collect();
@@ -325,14 +361,14 @@ impl Registry {
             counters: self
                 .counters
                 .read()
-                .expect("registry lock")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .iter()
                 .map(|(name, c)| (name.clone(), c.get()))
                 .collect(),
             gauges: self
                 .gauges
                 .read()
-                .expect("registry lock")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .iter()
                 .map(|(name, g)| (name.clone(), g.get()))
                 .collect(),
@@ -340,7 +376,7 @@ impl Registry {
             series: self
                 .series
                 .read()
-                .expect("registry lock")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .iter()
                 .map(|(name, s)| (name.clone(), s.values()))
                 .collect(),

@@ -4,6 +4,8 @@
 use crate::config::SimConfig;
 use crate::energy::PowerCurve;
 use crate::workload::Workload;
+use pagerankvm::audit::{self, AuditReport};
+use prvm_model::units::convert;
 use prvm_model::{Cluster, EvictionPolicy, Mhz, PlacementAlgorithm, PmId, VmId};
 use prvm_obs::{event, Span};
 use prvm_traces::Trace;
@@ -47,8 +49,8 @@ fn live_demand(
     t: usize,
     burst: f64,
 ) -> Mhz {
-    let per_vcpu = (vcpu_mhz.get() as f64 * burst).min(host_core_mhz.get() as f64);
-    Mhz((trace.at(t) * per_vcpu * vcpus as f64).round() as u64)
+    let per_vcpu = (vcpu_mhz.as_f64() * burst).min(host_core_mhz.as_f64());
+    Mhz::from_f64_rounded(trace.at(t) * per_vcpu * convert::u64_to_f64(vcpus))
 }
 
 /// Run one simulation: place `workload` with `placer`, then scan for
@@ -64,7 +66,33 @@ pub fn simulate(
     placer: &mut dyn PlacementAlgorithm,
     evictor: &mut dyn EvictionPolicy,
 ) -> SimOutcome {
-    simulate_impl(sim, cluster, workload, placer, evictor, None)
+    simulate_impl(sim, cluster, workload, placer, evictor, None, None)
+}
+
+/// Like [`simulate`], additionally running the full invariant audit
+/// ([`pagerankvm::audit::check_cluster`]) after the initial allocation and
+/// after every scan's migrations, and returning the accumulated
+/// [`AuditReport`]. Plain [`simulate`] runs the same checks debug-assert
+/// gated; this entry point makes them unconditional and observable.
+#[must_use]
+pub fn simulate_with_audit(
+    sim: &SimConfig,
+    cluster: Cluster,
+    workload: &Workload,
+    placer: &mut dyn PlacementAlgorithm,
+    evictor: &mut dyn EvictionPolicy,
+) -> (SimOutcome, AuditReport) {
+    let mut report = AuditReport::default();
+    let outcome = simulate_impl(
+        sim,
+        cluster,
+        workload,
+        placer,
+        evictor,
+        None,
+        Some(&mut report),
+    );
+    (outcome, report)
 }
 
 /// Like [`simulate`], additionally recording a per-scan
@@ -79,8 +107,30 @@ pub fn simulate_traced(
     evictor: &mut dyn EvictionPolicy,
 ) -> (SimOutcome, crate::TimeSeries) {
     let mut ts = crate::TimeSeries::new();
-    let outcome = simulate_impl(sim, cluster, workload, placer, evictor, Some(&mut ts));
+    let outcome = simulate_impl(sim, cluster, workload, placer, evictor, Some(&mut ts), None);
     (outcome, ts)
+}
+
+/// Run the audit step: accumulate into an explicit report when one was
+/// requested, otherwise debug-assert cleanliness (free in release).
+fn audit_step(cluster: &Cluster, context: &str, report: Option<&mut AuditReport>) {
+    match report {
+        Some(report) => {
+            let step = audit::check_cluster(cluster);
+            if !step.is_clean() {
+                prvm_obs::counter!(
+                    "sim.audit_violations",
+                    convert::usize_to_u64(step.violations.len())
+                );
+                event("sim.audit_violation")
+                    .field("context", context.to_owned())
+                    .field("violations", step.violations.len())
+                    .emit();
+            }
+            report.merge(step);
+        }
+        None => audit::debug_check_cluster(cluster, context),
+    }
 }
 
 fn simulate_impl(
@@ -90,6 +140,7 @@ fn simulate_impl(
     placer: &mut dyn PlacementAlgorithm,
     evictor: &mut dyn EvictionPolicy,
     mut recorder: Option<&mut crate::TimeSeries>,
+    mut auditor: Option<&mut AuditReport>,
 ) -> SimOutcome {
     let scans = sim.scans();
 
@@ -105,18 +156,24 @@ fn simulate_impl(
         match placer.choose(&cluster, &spec, &|_| false) {
             Some(d) => {
                 let shape = (u64::from(spec.vcpus), spec.vcpu_mhz);
-                let id = cluster
-                    .place(d.pm, spec, d.assignment)
-                    .expect("algorithm decisions are validated placements");
-                vm_demand.insert(id, (shape.0, shape.1, trace));
+                match cluster.place(d.pm, spec, d.assignment) {
+                    Ok(id) => {
+                        vm_demand.insert(id, (shape.0, shape.1, trace));
+                    }
+                    Err(err) => {
+                        debug_assert!(false, "placer returned invalid decision: {err}");
+                        rejected += 1;
+                    }
+                }
             }
             None => rejected += 1,
         }
     }
+    audit_step(&cluster, "initial placement", auditor.as_deref_mut());
     let pms_used_initial = cluster.active_pm_count();
     let mut max_active = pms_used_initial;
     drop(placement_span);
-    prvm_obs::counter!("sim.rejected_vms", rejected as u64);
+    prvm_obs::counter!("sim.rejected_vms", convert::usize_to_u64(rejected));
     event("sim.placed")
         .field("algorithm", placer.name())
         .field("placed", cluster.vm_count())
@@ -198,7 +255,10 @@ fn simulate_impl(
                     break;
                 };
                 let victim_demand = scan_demand.get(&victim).copied().unwrap_or(Mhz::ZERO);
-                let (_, spec, old_assignment) = cluster.remove(victim).expect("victim is resident");
+                let Ok((_, spec, old_assignment)) = cluster.remove(victim) else {
+                    debug_assert!(false, "evictor selected a non-resident VM {}", victim.0);
+                    break;
+                };
 
                 // Destination must not be the source, must not already be
                 // overloaded, and must not *become* overloaded by this VM.
@@ -210,33 +270,45 @@ fn simulate_impl(
                     let d = pm_demand.get(&pm).copied().unwrap_or(Mhz::ZERO);
                     (d + victim_demand).fraction_of(cap) > sim.overload_threshold
                 };
-                match placer.choose(&cluster, &spec, &exclude) {
+                let destination = placer.choose(&cluster, &spec, &exclude);
+                let migrated = match &destination {
                     Some(d) => {
-                        cluster
-                            .place_as(victim, d.pm, spec, d.assignment)
-                            .expect("algorithm decisions are validated placements");
-                        migrations += 1;
-                        *pm_demand.entry(d.pm).or_insert(Mhz::ZERO) += victim_demand;
-                        *pm_demand.get_mut(&src).expect("source tracked") =
-                            current.saturating_sub(victim_demand);
+                        match cluster.place_as(victim, d.pm, spec.clone(), d.assignment.clone()) {
+                            Ok(()) => true,
+                            Err(err) => {
+                                debug_assert!(false, "placer returned invalid migration: {err}");
+                                false
+                            }
+                        }
                     }
-                    None => {
-                        // Nowhere to go: restore and stop evicting here.
-                        cluster
-                            .place_as(victim, src, spec, old_assignment)
-                            .expect("restoring a just-removed VM cannot fail");
-                        break;
+                    None => false,
+                };
+                if migrated {
+                    let Some(d) = destination else { break };
+                    migrations += 1;
+                    *pm_demand.entry(d.pm).or_insert(Mhz::ZERO) += victim_demand;
+                    if let Some(src_demand) = pm_demand.get_mut(&src) {
+                        *src_demand = current.saturating_sub(victim_demand);
                     }
+                } else {
+                    // Nowhere to go: restore and stop evicting here.
+                    let restored = cluster.place_as(victim, src, spec, old_assignment);
+                    debug_assert!(restored.is_ok(), "restoring a just-removed VM cannot fail");
+                    break;
                 }
             }
         }
         max_active = max_active.max(cluster.active_pm_count());
+        audit_step(&cluster, "scan migrations", auditor.as_deref_mut());
         let mean_utilization = if scan_active == 0 {
             0.0
         } else {
-            scan_util_sum / scan_active as f64
+            scan_util_sum / convert::usize_to_f64(scan_active)
         };
-        prvm_obs::counter!("sim.migrations", (migrations - migrations_before) as u64);
+        prvm_obs::counter!(
+            "sim.migrations",
+            convert::usize_to_u64(migrations - migrations_before)
+        );
         prvm_obs::gauge!("sim.mean_utilization", mean_utilization);
         event("sim.scan")
             .field("scan", t)
@@ -269,7 +341,7 @@ fn simulate_impl(
         slo_violation_pct: if active_samples == 0 {
             0.0
         } else {
-            100.0 * slo_samples as f64 / active_samples as f64
+            100.0 * convert::usize_to_f64(slo_samples) / convert::usize_to_f64(active_samples)
         },
         overload_events,
         rejected_vms: rejected,
@@ -278,7 +350,7 @@ fn simulate_impl(
     prvm_obs::gauge!("sim.slo_violation_pct", outcome.slo_violation_pct);
     prvm_obs::gauge!(
         "sim.pms_used_max_active",
-        outcome.pms_used_max_active as f64
+        convert::usize_to_f64(outcome.pms_used_max_active)
     );
     event("sim.done")
         .field("scans", scans)

@@ -188,22 +188,19 @@ pub fn sweep(
 /// Build the score book for the EC2 catalog — the shared preprocessing
 /// step of every PageRankVM experiment.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the profile graph cannot be built with the default quantizer
-/// (cannot happen for the Table I/II catalog).
-#[must_use]
-pub fn ec2_score_book() -> Arc<ScoreBook> {
-    Arc::new(
-        ScoreBook::build(
-            prvm_model::Quantizer::default(),
-            &catalog::ec2_pm_types(),
-            &catalog::ec2_vm_types(),
-            &pagerankvm::PageRankConfig::default(),
-            pagerankvm::GraphLimits::default(),
-        )
-        .expect("EC2 catalog graph builds under the default quantizer"),
-    )
+/// Propagates [`pagerankvm::GraphError`] if the profile graph cannot be
+/// built with the default quantizer (cannot happen for the Table I/II
+/// catalog).
+pub fn ec2_score_book() -> Result<Arc<ScoreBook>, pagerankvm::GraphError> {
+    Ok(Arc::new(ScoreBook::build(
+        prvm_model::Quantizer::default(),
+        &catalog::ec2_pm_types(),
+        &catalog::ec2_vm_types(),
+        &pagerankvm::PageRankConfig::default(),
+        pagerankvm::GraphLimits::default(),
+    )?))
 }
 
 #[cfg(test)]

@@ -64,11 +64,7 @@ impl TimeSeries {
     pub fn peak_scan(&self) -> Option<usize> {
         self.samples
             .iter()
-            .max_by(|a, b| {
-                a.mean_utilization
-                    .partial_cmp(&b.mean_utilization)
-                    .expect("utilization is finite")
-            })
+            .max_by(|a, b| a.mean_utilization.total_cmp(&b.mean_utilization))
             .map(|s| s.scan)
     }
 

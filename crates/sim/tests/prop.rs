@@ -1,11 +1,13 @@
 //! Property-based tests over the simulation engine's accounting
-//! invariants.
+//! invariants and the runtime audit layer.
 
+use pagerankvm::{audit, AuditReport};
 use proptest::prelude::*;
 use prvm_baselines::{FirstFit, MinimumMigrationTime};
+use prvm_model::{catalog, Assignment, Cluster, PlacementAlgorithm, VmId};
 use prvm_sim::{
-    build_cluster, simulate, simulate_traced, ScanSample, SimConfig, TimeSeries, Workload,
-    WorkloadConfig,
+    build_cluster, simulate, simulate_traced, simulate_with_audit, ScanSample, SimConfig,
+    TimeSeries, Workload, WorkloadConfig,
 };
 use prvm_traces::TraceKind;
 
@@ -119,6 +121,59 @@ proptest! {
         prop_assert_eq!(o.pms_used, o.pms_used_initial);
     }
 
+    /// Every cluster state reachable by a random place/evict sequence
+    /// passes the full invariant audit.
+    #[test]
+    fn random_place_evict_states_audit_clean(
+        ops in prop::collection::vec((any::<bool>(), 0usize..64), 1..50),
+    ) {
+        let types = catalog::ec2_vm_types();
+        let mut cluster = Cluster::homogeneous(catalog::pm_m3(), 12);
+        let mut ff = FirstFit::new();
+        let mut resident: Vec<VmId> = Vec::new();
+        for (place_op, k) in ops {
+            if place_op || resident.is_empty() {
+                let spec = types[k % types.len()].clone();
+                if let Some(d) = ff.choose(&cluster, &spec, &|_| false) {
+                    let id = cluster.place(d.pm, spec, d.assignment).expect("chosen fits");
+                    resident.push(id);
+                }
+            } else {
+                let id = resident.swap_remove(k % resident.len());
+                cluster.remove(id).expect("still resident");
+            }
+            let report = audit::check_cluster(&cluster);
+            prop_assert!(report.is_clean(), "{report}");
+        }
+    }
+
+    /// A full simulation run — placements, evictions and migrations —
+    /// keeps the cluster audit-clean after every step.
+    #[test]
+    fn simulated_states_audit_clean(n_vms in 1usize..25, seed in 0u64..300) {
+        let sim = SimConfig {
+            horizon_s: 3600,
+            ..SimConfig::default()
+        };
+        let wl = WorkloadConfig {
+            n_vms,
+            trace_kind: TraceKind::PlanetLab,
+            m3_pms: n_vms.max(4),
+            c3_pms: 2,
+        };
+        let workload = Workload::generate(&wl, sim.scans(), seed);
+        let (_, report) = simulate_with_audit(
+            &sim,
+            build_cluster(&wl),
+            &workload,
+            &mut FirstFit::new(),
+            &mut MinimumMigrationTime::new(),
+        );
+        prop_assert!(report.is_clean(), "{report}");
+        prop_assert!(report.capacity_checks > 0, "capacity family exercised");
+        prop_assert!(report.anti_collocation_checks > 0, "anti-collocation family exercised");
+    }
+
     /// Any time series survives a JSON round trip unchanged (the `--csv`
     /// companion format used for machine-readable dumps).
     #[test]
@@ -140,4 +195,24 @@ proptest! {
             prop_assert_eq!(&back, first);
         }
     }
+}
+
+/// The checker is not vacuous: states the safe `Cluster` API refuses to
+/// construct — fed in through the raw-parts checkers — are flagged.
+#[test]
+fn deliberate_violations_fire() {
+    let mut report = AuditReport::default();
+    // Both vCPUs of an m3.large pinned to core 0 breaks anti-collocation.
+    audit::check_assignment_shape(
+        &catalog::vm_m3_large(),
+        &Assignment::new(vec![0, 0], vec![0]),
+        16,
+        4,
+        "collocated vm",
+        &mut report,
+    );
+    // A score vector with a NaN that also fails to sum to one.
+    audit::check_score_vector(&[f64::NAN, 0.5], "bad scores", &mut report);
+    assert!(!report.is_clean());
+    assert!(report.violations.len() >= 2, "{report}");
 }

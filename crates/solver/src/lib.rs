@@ -76,7 +76,7 @@ pub fn solve_min_pms(
                 + v.memory.get() as f64 / 1024.0
                 + v.total_disk().get() as f64 / 100.0
         };
-        key(&vms[b]).partial_cmp(&key(&vms[a])).expect("finite")
+        key(&vms[b]).total_cmp(&key(&vms[a]))
     });
 
     let mut search = Search {
@@ -130,21 +130,22 @@ impl Search<'_> {
                 .find_map(|pm| cluster.pm(pm).first_feasible(vm).map(|a| (pm, a)));
             match found {
                 Some((pm, a)) => {
-                    cluster
-                        .place(pm, vm.clone(), a.clone())
-                        .expect("feasible assignment places");
+                    let placed = cluster.place(pm, vm.clone(), a.clone());
+                    if placed.is_err() {
+                        debug_assert!(false, "first_feasible assignment places");
+                        return; // no incumbent; search decides feasibility
+                    }
                     placements[vi] = Some((pm, a));
                 }
                 None => return, // no incumbent; search decides feasibility
             }
         }
+        let Some(best) = placements.into_iter().collect::<Option<Vec<_>>>() else {
+            debug_assert!(false, "the loop above placed every VM");
+            return;
+        };
         self.best_count = cluster.active_pm_count();
-        self.best = Some(
-            placements
-                .into_iter()
-                .map(|p| p.expect("all placed"))
-                .collect(),
-        );
+        self.best = Some(best);
     }
 
     fn out_of_budget(&mut self) -> bool {
@@ -212,14 +213,12 @@ impl Search<'_> {
         }
         if depth == self.order.len() {
             // All placed: strictly better by the bound check above.
+            let Some(best) = self.current.iter().cloned().collect::<Option<Vec<_>>>() else {
+                debug_assert!(false, "assignment is complete at full depth");
+                return;
+            };
             self.best_count = used;
-            self.best = Some(
-                self.current
-                    .iter()
-                    .cloned()
-                    .map(|p| p.expect("complete assignment"))
-                    .collect(),
-            );
+            self.best = Some(best);
             return;
         }
 
@@ -240,14 +239,15 @@ impl Search<'_> {
 
         for pm in candidates {
             for assignment in self.cluster.pm(pm).distinct_feasible(&vm) {
-                let id = self
-                    .cluster
-                    .place(pm, vm.clone(), assignment.clone())
-                    .expect("enumerated assignment is valid");
+                let Ok(id) = self.cluster.place(pm, vm.clone(), assignment.clone()) else {
+                    debug_assert!(false, "enumerated assignment is valid");
+                    continue;
+                };
                 self.current[vi] = Some((pm, assignment));
                 self.dfs(depth + 1);
                 self.current[vi] = None;
-                self.cluster.remove(id).expect("just placed");
+                let removed = self.cluster.remove(id);
+                debug_assert!(removed.is_ok(), "just-placed VM removes cleanly");
                 if self.out_of_budget() {
                     return;
                 }

@@ -15,6 +15,18 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
+/// Channel sends only fail when the node agent's thread died — the bug the
+/// documented `# Panics` contract turns into a panic.
+fn send_to_agent(tx: &Sender<ToNode>, msg: ToNode) {
+    tx.send(msg)
+        .unwrap_or_else(|_| panic!("node agent disconnected"));
+}
+
+fn recv_from_agent(rx: &Receiver<ToController>) -> ToController {
+    rx.recv()
+        .unwrap_or_else(|_| panic!("node agent disconnected"))
+}
+
 /// Run the full testbed experiment: `n_jobs` jobs placed and supervised by
 /// `placer`/`evictor` for the configured duration.
 ///
@@ -23,8 +35,9 @@ use std::collections::HashMap;
 ///
 /// # Panics
 ///
-/// Panics if a node agent disconnects mid-experiment (a bug, not an
-/// expected runtime condition).
+/// Panics if a node agent disconnects mid-experiment or the mirror
+/// cluster rejects a placement decision (bugs, not expected runtime
+/// conditions).
 #[must_use]
 pub fn run_testbed(
     cfg: &TestbedConfig,
@@ -68,15 +81,16 @@ pub fn run_testbed(
             Some(d) => {
                 let id = mirror
                     .place(d.pm, spec.clone(), d.assignment.clone())
-                    .expect("algorithm decisions are validated placements");
-                to_nodes[d.pm.0]
-                    .send(ToNode::Start(JobHandle {
+                    .unwrap_or_else(|e| panic!("algorithm decision rejected by mirror: {e}"));
+                send_to_agent(
+                    &to_nodes[d.pm.0],
+                    ToNode::Start(JobHandle {
                         id,
                         spec,
                         assignment: d.assignment,
                         trace,
-                    }))
-                    .expect("agent alive");
+                    }),
+                );
                 resident += 1;
             }
             None => rejected += 1,
@@ -94,13 +108,13 @@ pub fn run_testbed(
 
     for t in 0..scans {
         for tx in &to_nodes {
-            tx.send(ToNode::Tick { t }).expect("agent alive");
+            send_to_agent(tx, ToNode::Tick { t });
         }
         // Collect exactly one status per node (lockstep).
         let mut job_demand: HashMap<VmId, u64> = HashMap::new();
         let mut node_demand: Vec<u64> = vec![0; cfg.nodes];
         for _ in 0..cfg.nodes {
-            match from_nodes.recv().expect("agent alive") {
+            match recv_from_agent(&from_nodes) {
                 ToController::Status {
                     node,
                     t: rt,
@@ -152,7 +166,10 @@ pub fn run_testbed(
                 let victim_demand = job_demand.get(&victim).copied().unwrap_or(0);
                 // Choose the destination BEFORE killing so an unplaceable
                 // job is never interrupted.
-                let (_, spec, _) = mirror.remove(victim).expect("victim resident");
+                let Ok((_, spec, _)) = mirror.remove(victim) else {
+                    debug_assert!(false, "evictor selected a non-resident job {}", victim.0);
+                    break;
+                };
                 let exclude = |pm: PmId| -> bool {
                     pm.0 == src
                         || overloaded_set.contains(&pm.0)
@@ -161,32 +178,30 @@ pub fn run_testbed(
                 };
                 let Some(d) = placer.choose(&mirror, &spec, &exclude) else {
                     // Nowhere to go: put it back and stop evicting here.
-                    let a = mirror
-                        .pm(PmId(src))
-                        .first_feasible(&spec)
-                        .expect("job came from this node");
-                    mirror
-                        .place_as(victim, PmId(src), spec, a)
-                        .expect("restore placement");
+                    let Some(a) = mirror.pm(PmId(src)).first_feasible(&spec) else {
+                        debug_assert!(false, "job came from this node");
+                        break;
+                    };
+                    let restored = mirror.place_as(victim, PmId(src), spec, a);
+                    debug_assert!(restored.is_ok(), "restoring a just-removed job cannot fail");
                     break;
                 };
                 // Kill on the source, restart on the destination.
-                to_nodes[src]
-                    .send(ToNode::Kill(victim))
-                    .expect("agent alive");
-                let job = match from_nodes.recv().expect("agent alive") {
+                send_to_agent(&to_nodes[src], ToNode::Kill(victim));
+                let job = match recv_from_agent(&from_nodes) {
                     ToController::Killed { job, .. } => job,
                     ToController::Status { .. } => unreachable!("no tick in flight during kill"),
                 };
                 mirror
                     .place_as(victim, d.pm, spec, d.assignment.clone())
-                    .expect("algorithm decisions are validated placements");
-                to_nodes[d.pm.0]
-                    .send(ToNode::Start(JobHandle {
+                    .unwrap_or_else(|e| panic!("algorithm decision rejected by mirror: {e}"));
+                send_to_agent(
+                    &to_nodes[d.pm.0],
+                    ToNode::Start(JobHandle {
                         assignment: d.assignment,
                         ..job
-                    }))
-                    .expect("agent alive");
+                    }),
+                );
                 migrations += 1;
                 node_demand[d.pm.0] += victim_demand;
                 node_demand[src] = node_demand[src].saturating_sub(victim_demand);
@@ -199,7 +214,7 @@ pub fn run_testbed(
         let _ = tx.send(ToNode::Shutdown);
     }
     for h in handles {
-        h.join().expect("agent thread exits cleanly");
+        h.join().unwrap_or_else(|_| panic!("agent thread panicked"));
     }
 
     TestbedOutcome {

@@ -43,15 +43,25 @@ pub fn generate<R: Rng + ?Sized>(kind: TraceKind, samples: usize, rng: &mut R) -
     }
 }
 
+/// The generators only call these constructors with positive constants, so
+/// the parameter-validation errors can never fire.
+fn gamma(shape: f64, scale: f64) -> Gamma {
+    Gamma::new(shape, scale).unwrap_or_else(|e| panic!("gamma({shape}, {scale}): {e}"))
+}
+
+fn log_normal(mu: f64, sigma: f64) -> LogNormal {
+    LogNormal::new(mu, sigma).unwrap_or_else(|e| panic!("lognormal({mu}, {sigma}): {e}"))
+}
+
 /// PlanetLab-like: baseline + diurnal sinusoid + AR(1) noise + rare bursts.
 fn planetlab<R: Rng + ?Sized>(samples: usize, rng: &mut R) -> Trace {
     // Per-node character drawn once.
-    let baseline = Gamma::new(2.0, 0.05).expect("valid gamma").sample(rng); // mean 0.10
+    let baseline = gamma(2.0, 0.05).sample(rng); // mean 0.10
     let diurnal_amp = rng.gen_range(0.02..0.15);
     let phase = rng.gen_range(0.0..TAU);
     let noise_sd = rng.gen_range(0.01..0.05);
     let burst_p = rng.gen_range(0.005..0.03);
-    let burst = LogNormal::new(-1.2, 0.5).expect("valid lognormal");
+    let burst = log_normal(-1.2, 0.5);
 
     let mut ar = 0.0f64;
     let mut out = Vec::with_capacity(samples);
@@ -71,9 +81,9 @@ fn planetlab<R: Rng + ?Sized>(samples: usize, rng: &mut R) -> Trace {
 
 /// Google-cluster-like: low plateau with heavy-tailed spikes and shifts.
 fn google<R: Rng + ?Sized>(samples: usize, rng: &mut R) -> Trace {
-    let baseline = Gamma::new(1.5, 0.03).expect("valid gamma").sample(rng); // mean 0.045
+    let baseline = gamma(1.5, 0.03).sample(rng); // mean 0.045
     let spike_p = rng.gen_range(0.01..0.05);
-    let spike = LogNormal::new(-0.9, 0.8).expect("valid lognormal");
+    let spike = log_normal(-0.9, 0.8);
     let noise_sd = rng.gen_range(0.005..0.03);
     // Occasional regime shifts: the task gets busier or quieter for a while.
     let mut regime = 0.0f64;

@@ -58,12 +58,12 @@ impl Percentiles {
     ///
     /// # Panics
     ///
-    /// Panics if `values` is empty or contains NaN.
+    /// Panics if `values` is empty.
     #[must_use]
     pub fn of(values: &[f64]) -> Self {
         assert!(!values.is_empty(), "need at least one value");
         let mut v = values.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+        v.sort_by(f64::total_cmp);
         let rank = |p: f64| -> f64 {
             let idx = ((p * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
             v[idx]

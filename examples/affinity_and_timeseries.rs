@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     };
     let wl = WorkloadConfig::sized_for(150, TraceKind::GoogleCluster);
     let workload = Workload::generate(&wl, sim.scans(), 3);
-    let sim_book = prvm_sim::ec2_score_book();
+    let sim_book = prvm_sim::ec2_score_book()?;
     let (mut p, mut e) = Algorithm::PageRankVm.build(&sim_book, 3);
     let (outcome, ts) =
         simulate_traced(&sim, build_cluster(&wl), &workload, p.as_mut(), e.as_mut());

@@ -41,12 +41,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     let bad = Assignment::new(vec![0, 0, 1, 2], vec![0, 1]);
     println!(
         "\nplacing two vCPUs on the same core: {}",
-        pm.validate(&vm, &bad).unwrap_err()
+        pm.validate(&vm, &bad)
+            .expect_err("collocated assignment must be rejected")
     );
     let bad = Assignment::new(vec![0, 1, 2, 3], vec![1, 1]);
     println!(
         "placing two virtual disks on the same disk: {}",
-        pm.validate(&vm, &bad).unwrap_err()
+        pm.validate(&vm, &bad)
+            .expect_err("collocated assignment must be rejected")
     );
 
     // --- 3. PageRankVM picks the best permutation ---------------------------

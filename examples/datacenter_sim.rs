@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let workload = Workload::generate(&wl, sim.scans(), 7);
 
     println!("building score tables…");
-    let book = ec2_score_book();
+    let book = ec2_score_book()?;
 
     println!(
         "simulating 24 h: {} VMs on a pool of {} M3 + {} C3 PMs, PlanetLab-like traces\n",

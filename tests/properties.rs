@@ -116,7 +116,7 @@ proptest! {
             ProfileVm::from_demands("a", vec![vec![seed_shape.min(u64::from(cap))]]),
             ProfileVm::from_demands("b", vec![vec![1, 1][..dims.min(2)].to_vec()]),
         ];
-        let graph = ProfileGraph::build(space, vms, GraphLimits::default()).unwrap();
+        let graph = ProfileGraph::build(space, vms, GraphLimits::default()).expect("small graph builds");
         let r = pagerank(
             &graph,
             &PageRankConfig { orientation, ..PageRankConfig::default() },

@@ -7,8 +7,8 @@ use pagerankvm::{
 use prvm_model::{catalog, Assignment};
 use prvm_obs::{LogMode, ObsConfig, Registry, Span};
 use prvm_sim::{
-    build_cluster, simulate_traced, simulate_with_audit, Algorithm, SimConfig, Workload,
-    WorkloadConfig,
+    build_cluster, simulate_faulty, simulate_traced, simulate_with_audit, Algorithm, FaultPlan,
+    SimConfig, Workload, WorkloadConfig,
 };
 use prvm_testbed::{run_testbed, TestbedConfig};
 use prvm_traces::TraceKind;
@@ -31,6 +31,11 @@ commands:
             optionally dump the per-scan time series as CSV
   testbed   --jobs N [--algo NAME] [--seed N] [--minutes M]
             run the emulated GENI testbed
+  chaos     [--vms N] [--seed N] [--scans N]
+            run the seeded fault-injection matrix — every paper algorithm
+            against every fault preset (none, pm-crash, flaky-migrations,
+            trace-noise, all) — and print a comparison table; faults are
+            strictly opt-in, so the `none` row equals a plain simulate
   report    FILE.jsonl
             summarize a recorded event log: phase wall-time breakdown,
             PageRank convergence, event counts
@@ -40,7 +45,7 @@ commands:
             non-zero on any violation. --self-test injects deliberate
             violations to prove the checker fires
 
-observability (place, simulate, testbed):
+observability (place, simulate, testbed, chaos):
   --log off|pretty|json   stream events to stderr (default off)
   --events FILE.jsonl     record every event as JSON lines
   --metrics FILE.json     dump the metrics registry (phases, counters,
@@ -353,6 +358,132 @@ pub fn testbed(args: &[String]) -> Result<(), String> {
     obs_finish(metrics)
 }
 
+/// One cell of the chaos matrix: an algorithm's metrics under one fault
+/// preset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosRow {
+    /// Algorithm display name.
+    pub algorithm: &'static str,
+    /// Fault preset name ([`FaultPlan::preset_names`]).
+    pub fault: &'static str,
+    /// Distinct PMs ever used.
+    pub pms_used: usize,
+    /// Energy in kWh.
+    pub energy_kwh: f64,
+    /// Overload migrations performed.
+    pub migrations: usize,
+    /// SLO violation percentage.
+    pub slo_pct: f64,
+    /// PMs crashed by the plan.
+    pub pm_failures: usize,
+    /// VMs successfully evacuated off crashed PMs.
+    pub evacuations: usize,
+    /// Migration/evacuation attempts that failed in flight.
+    pub failed_migrations: usize,
+    /// Total repaired downtime across evacuations, in seconds.
+    pub recovery_time_s: u64,
+}
+
+/// Run the fault matrix: every paper algorithm × every fault preset, all
+/// from one seed. Pure (no printing), so tests can assert determinism.
+///
+/// # Errors
+///
+/// Propagates score-book construction failures.
+pub fn chaos_matrix(
+    seed: u64,
+    scans: usize,
+    n_vms: usize,
+) -> Result<Vec<ChaosRow>, pagerankvm::GraphError> {
+    let book = prvm_sim::ec2_score_book()?;
+    let base = SimConfig::default();
+    let sim = SimConfig {
+        horizon_s: scans as u64 * base.scan_interval_s,
+        ..base
+    };
+    let wl = WorkloadConfig::sized_for(n_vms, TraceKind::PlanetLab);
+    let mut rows = Vec::new();
+    for algorithm in Algorithm::PAPER_SET {
+        for fault in FaultPlan::preset_names() {
+            let plan = FaultPlan::preset(fault, scans, seed).expect("known preset name");
+            let workload = Workload::generate(&wl, sim.scans(), seed);
+            let (mut placer, mut evictor) = algorithm.build(&book, seed);
+            let o = simulate_faulty(
+                &sim,
+                build_cluster(&wl),
+                &workload,
+                placer.as_mut(),
+                evictor.as_mut(),
+                &plan,
+            );
+            rows.push(ChaosRow {
+                algorithm: algorithm.name(),
+                fault,
+                pms_used: o.pms_used,
+                energy_kwh: o.energy_kwh,
+                migrations: o.migrations,
+                slo_pct: o.slo_violation_pct,
+                pm_failures: o.pm_failures,
+                evacuations: o.evacuations,
+                failed_migrations: o.failed_migrations,
+                recovery_time_s: o.recovery_time_s,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// `pagerankvm chaos`.
+pub fn chaos(args: &[String]) -> Result<(), String> {
+    let f = flags(args)?;
+    known(&f, &["vms", "seed", "scans", "log", "events", "metrics"])?;
+    let n: usize = parse(&f, "vms", 60)?;
+    let seed: u64 = parse(&f, "seed", 42)?;
+    let scans: usize = parse(&f, "scans", 48)?;
+    if n == 0 || scans == 0 {
+        return Err("--vms and --scans must be positive".into());
+    }
+    let metrics = obs_setup(&f)?;
+    let run_span = Span::enter("chaos");
+
+    let rows = chaos_matrix(seed, scans, n).map_err(|e| e.to_string())?;
+    println!(
+        "chaos matrix: {} algorithms x {} fault presets ({n} VMs, {scans} scans, seed {seed})",
+        Algorithm::PAPER_SET.len(),
+        FaultPlan::preset_names().len()
+    );
+    println!(
+        "\n{:<17} {:<18} {:>4} {:>8} {:>5} {:>7} {:>6} {:>5} {:>8} {:>9}",
+        "fault",
+        "algorithm",
+        "PMs",
+        "kWh",
+        "migr",
+        "SLO%",
+        "crash",
+        "evac",
+        "failmigr",
+        "repair(s)"
+    );
+    for row in &rows {
+        println!(
+            "{:<17} {:<18} {:>4} {:>8.1} {:>5} {:>7.3} {:>6} {:>5} {:>8} {:>9}",
+            row.fault,
+            row.algorithm,
+            row.pms_used,
+            row.energy_kwh,
+            row.migrations,
+            row.slo_pct,
+            row.pm_failures,
+            row.evacuations,
+            row.failed_migrations,
+            row.recovery_time_s
+        );
+    }
+    drop(run_span);
+    obs_finish(metrics)
+}
+
 /// `pagerankvm audit`: run every invariant family and exit non-zero on
 /// any violation.
 pub fn audit(args: &[String]) -> Result<(), String> {
@@ -550,6 +681,40 @@ mod tests {
         assert!(err.contains("unknown flag --vmz"), "{err}");
         let err = audit(&s(&["--jobs", "10"])).unwrap_err();
         assert!(err.contains("unknown flag --jobs"), "{err}");
+    }
+
+    /// Small but real: the full algorithm × preset grid, run twice, must
+    /// agree cell-for-cell; fault injection stays opt-in (the `none`
+    /// column injects nothing) and the crash presets actually crash.
+    #[test]
+    fn chaos_matrix_is_deterministic_and_faults_are_opt_in() {
+        let a = chaos_matrix(7, 4, 12).unwrap();
+        let b = chaos_matrix(7, 4, 12).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.len(),
+            Algorithm::PAPER_SET.len() * FaultPlan::preset_names().len()
+        );
+        for row in a.iter().filter(|r| r.fault == "none") {
+            assert_eq!(row.pm_failures, 0, "{row:?}");
+            assert_eq!(row.evacuations, 0, "{row:?}");
+            assert_eq!(row.failed_migrations, 0, "{row:?}");
+            assert_eq!(row.recovery_time_s, 0, "{row:?}");
+        }
+        assert!(
+            a.iter()
+                .filter(|r| r.fault == "pm-crash")
+                .all(|r| r.pm_failures > 0),
+            "the pm-crash preset must crash PMs"
+        );
+    }
+
+    #[test]
+    fn chaos_rejects_bad_flags() {
+        let err = chaos(&s(&["--jobz", "10"])).unwrap_err();
+        assert!(err.contains("unknown flag --jobz"), "{err}");
+        let err = chaos(&s(&["--scans", "0"])).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! pagerankvm place --vms 200 [--algo pagerankvm|ff|ffdsum|compvm] [--seed N]
 //! pagerankvm simulate --vms 200 [--algo …] [--seed N] [--hours H] [--csv FILE]
 //! pagerankvm testbed --jobs 150 [--algo …] [--seed N]
+//! pagerankvm chaos [--vms N] [--seed N] [--scans N]
 //! pagerankvm report FILE.jsonl
 //! pagerankvm audit [--vms N] [--algo …] [--seed N] [--hours H] [--self-test]
 //! ```
@@ -27,6 +28,7 @@ fn main() -> ExitCode {
         "place" => commands::place(rest),
         "simulate" => commands::simulate(rest),
         "testbed" => commands::testbed(rest),
+        "chaos" => commands::chaos(rest),
         "report" => commands::report(rest),
         "audit" => commands::audit(rest),
         "help" | "--help" | "-h" => {

@@ -308,13 +308,23 @@ pub fn check_pm(pm: &Pm, label: &str) -> AuditReport {
     report
 }
 
-/// Families 1 and 2 across every PM of a cluster.
+/// Families 1 and 2 across every PM of a cluster, plus the availability
+/// rule the fault layer introduces: a PM marked down must not host VMs
+/// (its residents are evacuated the instant it crashes).
 #[must_use]
 pub fn check_cluster(cluster: &Cluster) -> AuditReport {
     let mut report = AuditReport::default();
     for (i, pm) in cluster.pms().iter().enumerate() {
         if pm.is_empty() {
             continue;
+        }
+        report.capacity_checks += 1;
+        if cluster.is_down(prvm_model::PmId(i)) {
+            report.violation(
+                Invariant::Capacity,
+                format!("pm {i}"),
+                format!("down PM still hosts {} VM(s)", pm.vm_count()),
+            );
         }
         report.merge(check_pm(pm, &format!("pm {i}")));
     }
@@ -542,6 +552,23 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.invariant == Invariant::Capacity && v.detail.contains("residents sum")));
+    }
+
+    #[test]
+    fn down_pm_hosting_vms_is_flagged() {
+        // mark_down does not evacuate; a cluster left in that state is
+        // exactly what the availability rule must catch.
+        let mut cluster = Cluster::homogeneous(catalog::pm_m3(), 2);
+        let vm = catalog::vm_m3_large();
+        let assignment = cluster.pm(prvm_model::PmId(0)).first_feasible(&vm).unwrap();
+        cluster.place(prvm_model::PmId(0), vm, assignment).unwrap();
+        assert!(check_cluster(&cluster).is_clean());
+        cluster.mark_down(prvm_model::PmId(0)).unwrap();
+        let report = check_cluster(&cluster);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.detail.contains("down PM still hosts")));
     }
 
     #[test]

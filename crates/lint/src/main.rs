@@ -1,7 +1,7 @@
 //! `prvm-lint` — workspace-native static analysis for the PageRankVM
 //! reproduction.
 //!
-//! Walks `crates/*/src`, applies the project lint rules L001–L005 (see
+//! Walks `crates/*/src`, applies the project lint rules L001–L006 (see
 //! `rules.rs` and DESIGN.md §8), subtracts the justified exceptions in
 //! `lint.toml`, and exits non-zero when unallowlisted findings remain.
 //!
@@ -27,7 +27,8 @@ L001  no unwrap()/expect() outside tests and binary targets
 L002  no lossy `as` numeric casts in core/model (units.rs is the sanctioned layer)
 L003  no raw f64 resource arithmetic in core/sim bypassing the units.rs newtypes
 L004  no unchecked slice indexing in hot paths (graph.rs, pagerank.rs, placer.rs)
-L005  every pub fn in core documents a `# Panics` section when it can panic";
+L005  every pub fn in core documents a `# Panics` section when it can panic
+L006  no bare .recv() / .send().unwrap() on crossbeam channels outside tests";
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
@@ -213,8 +214,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn rule_table_lists_all_five_rules() {
-        for rule in ["L001", "L002", "L003", "L004", "L005"] {
+    fn rule_table_lists_all_rules() {
+        for rule in ["L001", "L002", "L003", "L004", "L005", "L006"] {
             assert!(RULE_TABLE.contains(rule));
         }
     }

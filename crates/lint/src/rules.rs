@@ -1,4 +1,4 @@
-//! The project-specific lint rules L001–L005.
+//! The project-specific lint rules L001–L006.
 //!
 //! Each rule operates on the masked lines produced by `scan.rs`, so string
 //! and comment text never triggers findings. Rules are scoped by crate and
@@ -14,6 +14,10 @@
 //!   (`graph.rs`, `pagerank.rs`, `placer.rs`).
 //! * **L005** — every `pub fn` in `core` that can panic documents a
 //!   `# Panics` section.
+//! * **L006** — in files that use `crossbeam::channel`, no bare blocking
+//!   `.recv()` and no panicking `.send(…).unwrap()` outside tests: a
+//!   peer's death must surface as a typed error, not a hang or a panic
+//!   (DESIGN.md §9).
 
 use crate::scan::SourceFile;
 
@@ -62,6 +66,7 @@ pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
     l003_no_raw_resource_math(file, out);
     l004_no_unchecked_index(file, out);
     l005_panics_documented(file, out);
+    l006_no_bare_channel_ops(file, out);
 }
 
 fn push(
@@ -191,6 +196,34 @@ fn l005_panics_documented(file: &SourceFile, out: &mut Vec<Finding>) {
                 n,
                 "L005",
                 "add a `# Panics` doc section (or remove the panic path)",
+            );
+        }
+    }
+}
+
+/// L006: bare channel operations in files that speak `crossbeam::channel`.
+/// A blocking `.recv()` hangs forever when the peer dies and a
+/// `.send(…).unwrap()` panics; both must become typed errors or timeouts.
+fn l006_no_bare_channel_ops(file: &SourceFile, out: &mut Vec<Finding>) {
+    let uses_channels = file
+        .lines
+        .iter()
+        .any(|l| l.code.contains("crossbeam::channel"));
+    if !uses_channels {
+        return;
+    }
+    for (n, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let c = &line.code;
+        if c.contains(".recv()") || (c.contains(".send(") && c.contains(".unwrap()")) {
+            push(
+                out,
+                file,
+                n,
+                "L006",
+                "use recv_timeout / handle the SendError as a typed error (the peer may be dead), or justify the blocking site in lint.toml",
             );
         }
     }
@@ -415,6 +448,37 @@ mod tests {
         assert!(rules_fired("crates/core/src/bpru.rs", documented)
             .iter()
             .all(|r| !r.starts_with("L005")));
+    }
+
+    #[test]
+    fn l006_flags_bare_channel_ops_in_channel_files_only() {
+        let src = "use crossbeam::channel::{Receiver, Sender};\n\
+                   fn a(rx: &Receiver<u32>) { let _ = rx.recv(); }\n\
+                   fn b(tx: &Sender<u32>) { tx.send(1).unwrap(); }\n";
+        let fired = rules_fired("crates/testbed/src/x.rs", src);
+        assert!(fired.contains(&"L006:2".to_string()), "{fired:?}");
+        assert!(fired.contains(&"L006:3".to_string()), "{fired:?}");
+
+        // recv_timeout and fallible sends are the sanctioned forms.
+        let ok = "use crossbeam::channel::Receiver;\n\
+                  fn a(rx: &Receiver<u32>, d: std::time::Duration) { let _ = rx.recv_timeout(d); }\n\
+                  fn b(tx: &crossbeam::channel::Sender<u32>) -> Result<(), ()> { tx.send(1).map_err(|_| ()) }\n";
+        assert!(rules_fired("crates/testbed/src/x.rs", ok)
+            .iter()
+            .all(|r| !r.starts_with("L006")));
+
+        // Files that never import crossbeam channels are exempt.
+        let nochan = "fn a(rx: &Mailbox) { let _ = rx.recv(); }\n";
+        assert!(rules_fired("crates/sim/src/x.rs", nochan)
+            .iter()
+            .all(|r| !r.starts_with("L006")));
+
+        // Test modules may block freely.
+        let in_test = "use crossbeam::channel::Receiver;\n\
+                       #[cfg(test)]\nmod tests {\n    fn a(rx: &Receiver<u32>) { let _ = rx.recv(); }\n}\n";
+        assert!(rules_fired("crates/testbed/src/x.rs", in_test)
+            .iter()
+            .all(|r| !r.starts_with("L006")));
     }
 
     #[test]

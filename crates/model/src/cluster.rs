@@ -29,6 +29,10 @@ pub struct Cluster {
     /// Every PM that hosted at least one VM at any point (for the paper's
     /// "number of PMs used" metric).
     ever_used: Vec<bool>,
+    /// Crashed PMs: hidden from the used/unused iterators and rejected as
+    /// placement targets until marked up again. All-false unless a fault
+    /// plan is active.
+    down: Vec<bool>,
 }
 
 impl Cluster {
@@ -44,6 +48,7 @@ impl Cluster {
         let pms: Vec<Pm> = specs.into_iter().map(Pm::new).collect();
         let unused = (0..pms.len()).map(PmId).collect();
         let ever_used = vec![false; pms.len()];
+        let down = vec![false; pms.len()];
         Self {
             pms,
             used: Vec::new(),
@@ -51,6 +56,7 @@ impl Cluster {
             location: HashMap::new(),
             next_vm: 0,
             ever_used,
+            down,
         }
     }
 
@@ -89,13 +95,15 @@ impl Cluster {
     }
 
     /// The used-PM list in first-use order (the paper's `used_PM_list`).
+    /// Down PMs are hidden, so every placement algorithm — they all walk
+    /// this and [`Cluster::unused_pms`] — skips crashed machines for free.
     pub fn used_pms(&self) -> impl Iterator<Item = PmId> + '_ {
-        self.used.iter().copied()
+        self.used.iter().copied().filter(|pm| !self.down[pm.0])
     }
 
-    /// The unused-PM list (the paper's `unused_PM_list`).
+    /// The unused-PM list (the paper's `unused_PM_list`), down PMs hidden.
     pub fn unused_pms(&self) -> impl Iterator<Item = PmId> + '_ {
-        self.unused.iter().copied()
+        self.unused.iter().copied().filter(|pm| !self.down[pm.0])
     }
 
     /// Number of PMs currently hosting at least one VM.
@@ -109,6 +117,61 @@ impl Cluster {
     #[must_use]
     pub fn ever_used_count(&self) -> usize {
         self.ever_used.iter().filter(|&&b| b).count()
+    }
+
+    /// Mark a PM as crashed. Resident VMs stay resident — evacuating them
+    /// is the caller's (sim engine / controller) responsibility, so the
+    /// recovery policy lives with the recovery accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownPm`] for an out-of-range id.
+    pub fn mark_down(&mut self, pm: PmId) -> Result<(), ModelError> {
+        if pm.0 >= self.pms.len() {
+            return Err(ModelError::UnknownPm(pm));
+        }
+        self.down[pm.0] = true;
+        Ok(())
+    }
+
+    /// Mark a crashed PM as recovered; it reappears in the used/unused
+    /// iterators and can host VMs again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownPm`] for an out-of-range id.
+    pub fn mark_up(&mut self, pm: PmId) -> Result<(), ModelError> {
+        if pm.0 >= self.pms.len() {
+            return Err(ModelError::UnknownPm(pm));
+        }
+        self.down[pm.0] = false;
+        Ok(())
+    }
+
+    /// True when the PM is marked down (false for out-of-range ids).
+    #[must_use]
+    pub fn is_down(&self, pm: PmId) -> bool {
+        self.down.get(pm.0).copied().unwrap_or(false)
+    }
+
+    /// Number of PMs currently marked down.
+    #[must_use]
+    pub fn down_pm_count(&self) -> usize {
+        self.down.iter().filter(|&&d| d).count()
+    }
+
+    /// VM ids resident on one PM, in ascending id order (deterministic,
+    /// for evacuation processing).
+    #[must_use]
+    pub fn resident_vms(&self, pm: PmId) -> Vec<VmId> {
+        let mut vms: Vec<VmId> = self
+            .location
+            .iter()
+            .filter(|(_, p)| **p == pm)
+            .map(|(vm, _)| *vm)
+            .collect();
+        vms.sort_unstable();
+        vms
     }
 
     /// Where a VM currently lives.
@@ -156,6 +219,9 @@ impl Cluster {
     ) -> Result<(), ModelError> {
         if pm.0 >= self.pms.len() {
             return Err(ModelError::UnknownPm(pm));
+        }
+        if self.down[pm.0] {
+            return Err(ModelError::PmDown(pm));
         }
         if self.location.contains_key(&id) {
             return Err(ModelError::InvalidAssignment {
@@ -303,6 +369,51 @@ mod tests {
         let vm = catalog::vm_m3_medium();
         let err = c.place(PmId(5), vm, Assignment::default());
         assert_eq!(err, Err(ModelError::UnknownPm(PmId(5))));
+    }
+
+    #[test]
+    fn down_pms_are_hidden_and_reject_placements() {
+        let mut c = Cluster::homogeneous(catalog::pm_m3(), 3);
+        let vm = catalog::vm_m3_medium();
+        let a = c.pm(PmId(1)).first_feasible(&vm).unwrap();
+        let id = c.place(PmId(1), vm.clone(), a).unwrap();
+
+        c.mark_down(PmId(1)).unwrap();
+        c.mark_down(PmId(2)).unwrap();
+        assert!(c.is_down(PmId(1)));
+        assert_eq!(c.down_pm_count(), 2);
+        assert_eq!(c.used_pms().count(), 0, "down PM hidden from used list");
+        assert_eq!(c.unused_pms().collect::<Vec<_>>(), vec![PmId(0)]);
+        // The VM is still resident (evacuation is the caller's job).
+        assert_eq!(c.locate(id), Some(PmId(1)));
+        assert_eq!(c.resident_vms(PmId(1)), vec![id]);
+
+        // Placing on a down PM is refused.
+        let a = c.pm(PmId(2)).first_feasible(&vm).unwrap();
+        assert_eq!(
+            c.place(PmId(2), vm.clone(), a),
+            Err(ModelError::PmDown(PmId(2)))
+        );
+
+        // Recovery restores visibility and placements.
+        c.mark_up(PmId(2)).unwrap();
+        assert_eq!(c.down_pm_count(), 1);
+        let a = c.pm(PmId(2)).first_feasible(&vm).unwrap();
+        assert!(c.place(PmId(2), vm, a).is_ok());
+        assert!(c.mark_down(PmId(9)).is_err());
+        assert!(!c.is_down(PmId(9)));
+    }
+
+    #[test]
+    fn resident_vms_are_sorted_for_determinism() {
+        let mut c = Cluster::homogeneous(catalog::pm_m3(), 1);
+        let vm = catalog::vm_m3_medium();
+        let mut ids = Vec::new();
+        for _ in 0..4 {
+            let a = c.pm(PmId(0)).first_feasible(&vm).unwrap();
+            ids.push(c.place(PmId(0), vm.clone(), a).unwrap());
+        }
+        assert_eq!(c.resident_vms(PmId(0)), ids);
     }
 
     #[test]

@@ -44,6 +44,9 @@ pub enum ModelError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The PM is marked down (crashed); it cannot receive placements
+    /// until it recovers.
+    PmDown(PmId),
 }
 
 impl fmt::Display for ModelError {
@@ -52,6 +55,7 @@ impl fmt::Display for ModelError {
             Self::UnknownVm(id) => write!(f, "unknown VM id {}", id.0),
             Self::UnknownPm(id) => write!(f, "unknown PM id {}", id.0),
             Self::InvalidAssignment { reason } => write!(f, "invalid assignment: {reason}"),
+            Self::PmDown(id) => write!(f, "PM {} is down", id.0),
         }
     }
 }

@@ -21,6 +21,13 @@ pub struct SimConfig {
     /// are baseline guarantees, not caps; bursting is what makes packed
     /// hosts overload in CloudSim's utilization-driven runs (DESIGN.md §4).
     pub burst_factor: f64,
+    /// Maximum placement attempts for a VM evacuated off a crashed PM
+    /// before the engine gives up on it (fault injection only; DESIGN.md
+    /// §9).
+    pub evac_max_attempts: u32,
+    /// Cap, in scans, on the exponential backoff between evacuation
+    /// attempts (virtual time; fault injection only).
+    pub evac_backoff_cap_scans: usize,
 }
 
 impl Default for SimConfig {
@@ -31,6 +38,8 @@ impl Default for SimConfig {
             overload_threshold: 0.9,
             slo_threshold: 1.0,
             burst_factor: 6.0,
+            evac_max_attempts: 5,
+            evac_backoff_cap_scans: 8,
         }
     }
 }

@@ -5,8 +5,9 @@ use crate::config::SimConfig;
 use crate::energy::PowerCurve;
 use crate::workload::Workload;
 use pagerankvm::audit::{self, AuditReport};
+use prvm_faults::{FaultClock, FaultPlan};
 use prvm_model::units::convert;
-use prvm_model::{Cluster, EvictionPolicy, Mhz, PlacementAlgorithm, PmId, VmId};
+use prvm_model::{Cluster, EvictionPolicy, Mhz, PlacementAlgorithm, PmId, VmId, VmSpec};
 use prvm_obs::{event, Span};
 use prvm_traces::Trace;
 use serde::{Deserialize, Serialize};
@@ -35,22 +36,42 @@ pub struct SimOutcome {
     /// Requests no PM could host at initial placement (0 when the pool is
     /// sized correctly).
     pub rejected_vms: usize,
+    /// PM crashes injected by the fault plan (0 without one).
+    pub pm_failures: usize,
+    /// VMs successfully re-placed after their PM crashed.
+    pub evacuations: usize,
+    /// Evacuations given up after [`SimConfig::evac_max_attempts`]
+    /// placement attempts; each is an SLO casualty, never a panic.
+    pub evacuations_abandoned: usize,
+    /// Migration/evacuation attempts that failed in flight (the fault
+    /// plan's transient migration failures).
+    pub failed_migrations: usize,
+    /// Every migration or evacuation attempt for which a destination was
+    /// chosen; always `migrations + evacuations + failed_migrations`.
+    pub migration_attempts: usize,
+    /// Total VM downtime repaired by evacuations: Σ over evacuated VMs of
+    /// (re-place scan − crash scan) × scan interval, in seconds.
+    pub recovery_time_s: u64,
 }
 
-/// Live CPU demand of one VM at scan `t`: its utilization trace times its
-/// burstable capacity — `burst_factor ×` the per-vCPU reservation, but a
-/// vCPU can never consume more than one physical core of its host
+/// Live CPU demand of one VM at utilization `util`: the utilization times
+/// its burstable capacity — `burst_factor ×` the per-vCPU reservation, but
+/// a vCPU can never consume more than one physical core of its host
 /// (`host_core_mhz`).
-fn live_demand(
-    vcpus: u64,
-    vcpu_mhz: Mhz,
-    host_core_mhz: Mhz,
-    trace: &Trace,
-    t: usize,
-    burst: f64,
-) -> Mhz {
+fn live_demand(vcpus: u64, vcpu_mhz: Mhz, host_core_mhz: Mhz, util: f64, burst: f64) -> Mhz {
     let per_vcpu = (vcpu_mhz.as_f64() * burst).min(host_core_mhz.as_f64());
-    Mhz::from_f64_rounded(trace.at(t) * per_vcpu * convert::u64_to_f64(vcpus))
+    Mhz::from_f64_rounded(util * per_vcpu * convert::u64_to_f64(vcpus))
+}
+
+/// A VM knocked off a crashed PM, waiting for a successful re-placement.
+/// `next_attempt` implements the capped exponential backoff in virtual
+/// time (scans, not wall clock).
+struct PendingEvac {
+    vm: VmId,
+    spec: VmSpec,
+    crash_scan: usize,
+    attempts: u32,
+    next_attempt: usize,
 }
 
 /// Run one simulation: place `workload` with `placer`, then scan for
@@ -66,7 +87,84 @@ pub fn simulate(
     placer: &mut dyn PlacementAlgorithm,
     evictor: &mut dyn EvictionPolicy,
 ) -> SimOutcome {
-    simulate_impl(sim, cluster, workload, placer, evictor, None, None)
+    simulate_impl(
+        sim,
+        cluster,
+        workload,
+        placer,
+        evictor,
+        &FaultPlan::none(),
+        None,
+        None,
+    )
+}
+
+/// Like [`simulate`], but consulting `faults` each scan: scheduled PM
+/// crashes evacuate their residents through the placer with bounded
+/// retry, migrations may transiently fail, and trace reads may return
+/// corrupted utilizations. With [`FaultPlan::none`] this is byte-identical
+/// to [`simulate`].
+#[must_use]
+pub fn simulate_faulty(
+    sim: &SimConfig,
+    cluster: Cluster,
+    workload: &Workload,
+    placer: &mut dyn PlacementAlgorithm,
+    evictor: &mut dyn EvictionPolicy,
+    faults: &FaultPlan,
+) -> SimOutcome {
+    simulate_impl(sim, cluster, workload, placer, evictor, faults, None, None)
+}
+
+/// [`simulate_faulty`] plus the unconditional invariant audit of
+/// [`simulate_with_audit`] — the entry point the fault proptests use to
+/// prove evacuations never corrupt the cluster.
+#[must_use]
+pub fn simulate_faulty_with_audit(
+    sim: &SimConfig,
+    cluster: Cluster,
+    workload: &Workload,
+    placer: &mut dyn PlacementAlgorithm,
+    evictor: &mut dyn EvictionPolicy,
+    faults: &FaultPlan,
+) -> (SimOutcome, AuditReport) {
+    let mut report = AuditReport::default();
+    let outcome = simulate_impl(
+        sim,
+        cluster,
+        workload,
+        placer,
+        evictor,
+        faults,
+        None,
+        Some(&mut report),
+    );
+    (outcome, report)
+}
+
+/// [`simulate_faulty`] plus the per-scan [`crate::TimeSeries`] of
+/// [`simulate_traced`] (including the fault columns).
+#[must_use]
+pub fn simulate_faulty_traced(
+    sim: &SimConfig,
+    cluster: Cluster,
+    workload: &Workload,
+    placer: &mut dyn PlacementAlgorithm,
+    evictor: &mut dyn EvictionPolicy,
+    faults: &FaultPlan,
+) -> (SimOutcome, crate::TimeSeries) {
+    let mut ts = crate::TimeSeries::new();
+    let outcome = simulate_impl(
+        sim,
+        cluster,
+        workload,
+        placer,
+        evictor,
+        faults,
+        Some(&mut ts),
+        None,
+    );
+    (outcome, ts)
 }
 
 /// Like [`simulate`], additionally running the full invariant audit
@@ -89,6 +187,7 @@ pub fn simulate_with_audit(
         workload,
         placer,
         evictor,
+        &FaultPlan::none(),
         None,
         Some(&mut report),
     );
@@ -107,7 +206,16 @@ pub fn simulate_traced(
     evictor: &mut dyn EvictionPolicy,
 ) -> (SimOutcome, crate::TimeSeries) {
     let mut ts = crate::TimeSeries::new();
-    let outcome = simulate_impl(sim, cluster, workload, placer, evictor, Some(&mut ts), None);
+    let outcome = simulate_impl(
+        sim,
+        cluster,
+        workload,
+        placer,
+        evictor,
+        &FaultPlan::none(),
+        Some(&mut ts),
+        None,
+    );
     (outcome, ts)
 }
 
@@ -133,16 +241,20 @@ fn audit_step(cluster: &Cluster, context: &str, report: Option<&mut AuditReport>
     }
 }
 
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
 fn simulate_impl(
     sim: &SimConfig,
     mut cluster: Cluster,
     workload: &Workload,
     placer: &mut dyn PlacementAlgorithm,
     evictor: &mut dyn EvictionPolicy,
+    faults: &FaultPlan,
     mut recorder: Option<&mut crate::TimeSeries>,
     mut auditor: Option<&mut AuditReport>,
 ) -> SimOutcome {
     let scans = sim.scans();
+    let clock = FaultClock::new(faults);
+    let has_faults = !faults.is_empty();
 
     // --- Initial allocation (Algorithm 2 driver) ------------------------
     let placement_span = Span::enter("placement");
@@ -187,9 +299,127 @@ fn simulate_impl(
     let mut overload_events = 0usize;
     let mut slo_samples = 0usize;
     let mut active_samples = 0usize;
+    let mut pm_failures = 0usize;
+    let mut evacuations = 0usize;
+    let mut evacuations_abandoned = 0usize;
+    let mut failed_migrations = 0usize;
+    let mut migration_attempts = 0usize;
+    let mut recovery_time_s = 0u64;
+    let mut pending_evacs: Vec<PendingEvac> = Vec::new();
 
     for t in 0..scans {
         let _scan_span = Span::enter("scan");
+        let pm_failures_before = pm_failures;
+        let evacuations_before = evacuations;
+        let failed_migrations_before = failed_migrations;
+        // How many VMs are offline this scan — waiting for evacuation or
+        // abandoned right now. Each counts as one SLO-violating sample.
+        let mut scan_offline = 0usize;
+
+        // --- Fault processing (skipped entirely on the paper path) -------
+        if has_faults {
+            // Recoveries first, so a PM that recovers at t can host
+            // evacuees the same scan.
+            for pm_idx in clock.recoveries_at(t) {
+                let pm = PmId(pm_idx);
+                if pm_idx < cluster.len() && cluster.is_down(pm) {
+                    let up = cluster.mark_up(pm);
+                    debug_assert!(up.is_ok(), "range-checked above");
+                    event("sim.pm_recover")
+                        .field("pm", pm_idx)
+                        .field("scan", t)
+                        .emit();
+                }
+            }
+            for pm_idx in clock.crashes_at(t) {
+                let pm = PmId(pm_idx);
+                if pm_idx >= cluster.len() || cluster.is_down(pm) {
+                    continue;
+                }
+                let victims = cluster.resident_vms(pm);
+                let down = cluster.mark_down(pm);
+                debug_assert!(down.is_ok(), "range-checked above");
+                pm_failures += 1;
+                prvm_obs::counter!("sim.pm_failures");
+                for vm in &victims {
+                    if let Ok((_, spec, _)) = cluster.remove(*vm) {
+                        pending_evacs.push(PendingEvac {
+                            vm: *vm,
+                            spec,
+                            crash_scan: t,
+                            attempts: 0,
+                            next_attempt: t,
+                        });
+                    }
+                }
+                event("sim.pm_crash")
+                    .field("pm", pm_idx)
+                    .field("scan", t)
+                    .field("evacuating", victims.len())
+                    .emit();
+            }
+
+            // Evacuation attempts, oldest first, with capped exponential
+            // backoff in virtual time. Giving up is an SLO casualty, not
+            // a panic.
+            let mut still_pending = Vec::new();
+            for mut ev in pending_evacs.drain(..) {
+                if ev.next_attempt > t {
+                    still_pending.push(ev);
+                    continue;
+                }
+                ev.attempts += 1;
+                let mut placed = false;
+                if let Some(d) = placer.choose(&cluster, &ev.spec, &|_| false) {
+                    migration_attempts += 1;
+                    if clock.migration_fails(t, ev.vm.0, ev.attempts) {
+                        failed_migrations += 1;
+                        prvm_obs::counter!("sim.failed_migrations");
+                        event("sim.migration_failed")
+                            .field("vm", ev.vm.0)
+                            .field("scan", t)
+                            .field("kind", "evacuation")
+                            .emit();
+                    } else {
+                        match cluster.place_as(ev.vm, d.pm, ev.spec.clone(), d.assignment) {
+                            Ok(()) => placed = true,
+                            Err(err) => {
+                                debug_assert!(false, "placer returned invalid evacuation: {err}");
+                            }
+                        }
+                    }
+                }
+                if placed {
+                    evacuations += 1;
+                    let downtime = convert::usize_to_u64(t - ev.crash_scan) * sim.scan_interval_s;
+                    recovery_time_s += downtime;
+                    prvm_obs::counter!("sim.evacuations");
+                    event("sim.evacuation")
+                        .field("vm", ev.vm.0)
+                        .field("scan", t)
+                        .field("attempts", u64::from(ev.attempts))
+                        .field("downtime_s", downtime)
+                        .emit();
+                } else if ev.attempts >= sim.evac_max_attempts {
+                    evacuations_abandoned += 1;
+                    scan_offline += 1;
+                    event("sim.evacuation_abandoned")
+                        .field("vm", ev.vm.0)
+                        .field("scan", t)
+                        .field("attempts", u64::from(ev.attempts))
+                        .emit();
+                } else {
+                    let backoff = (1usize << ev.attempts.min(16))
+                        .min(sim.evac_backoff_cap_scans)
+                        .max(1);
+                    ev.next_attempt = t + backoff;
+                    still_pending.push(ev);
+                }
+            }
+            pending_evacs = still_pending;
+            scan_offline += pending_evacs.len();
+            audit_step(&cluster, "fault recovery", auditor.as_deref_mut());
+        }
         // Per-PM aggregate demand, per-VM scan demand, SLO and energy
         // accounting. Each VM's demand is evaluated against its host's
         // core speed (the burst ceiling).
@@ -205,7 +435,12 @@ fn simulate_impl(
             let mut demand = Mhz::ZERO;
             for (id, _, _) in pm.vms() {
                 let (vcpus, vcpu_mhz, trace) = &vm_demand[&id];
-                let d = live_demand(*vcpus, *vcpu_mhz, core, trace, t, sim.burst_factor);
+                // A corrupted read replaces the recorded utilization with
+                // deterministic garbage (no-op without a fault plan).
+                let util = clock
+                    .corrupt_utilization(t, id.0)
+                    .unwrap_or_else(|| trace.at(t));
+                let d = live_demand(*vcpus, *vcpu_mhz, core, util, sim.burst_factor);
                 scan_demand.insert(id, d);
                 demand += d;
             }
@@ -220,8 +455,10 @@ fn simulate_impl(
                 .energy_wh(util, sim.scan_interval_s as f64);
             pm_demand.insert(pm_id, demand);
         }
-        active_samples += scan_active;
-        slo_samples += scan_slo;
+        // Offline VMs (awaiting evacuation, or abandoned this scan) are
+        // not serving: each is one violating sample.
+        active_samples += scan_active + scan_offline;
+        slo_samples += scan_slo + scan_offline;
         energy_wh += scan_energy_wh;
 
         // Overload detection: the set is fixed before migrations so an
@@ -271,13 +508,26 @@ fn simulate_impl(
                     (d + victim_demand).fraction_of(cap) > sim.overload_threshold
                 };
                 let destination = placer.choose(&cluster, &spec, &exclude);
+                let mut in_flight_failure = false;
                 let migrated = match &destination {
                     Some(d) => {
-                        match cluster.place_as(victim, d.pm, spec.clone(), d.assignment.clone()) {
-                            Ok(()) => true,
-                            Err(err) => {
-                                debug_assert!(false, "placer returned invalid migration: {err}");
-                                false
+                        migration_attempts += 1;
+                        if clock.migration_fails(t, victim.0, 0) {
+                            // The fault plan fails this attempt in flight:
+                            // the VM stays on its (overloaded) source.
+                            in_flight_failure = true;
+                            false
+                        } else {
+                            match cluster.place_as(victim, d.pm, spec.clone(), d.assignment.clone())
+                            {
+                                Ok(()) => true,
+                                Err(err) => {
+                                    debug_assert!(
+                                        false,
+                                        "placer returned invalid migration: {err}"
+                                    );
+                                    false
+                                }
                             }
                         }
                     }
@@ -291,7 +541,17 @@ fn simulate_impl(
                         *src_demand = current.saturating_sub(victim_demand);
                     }
                 } else {
-                    // Nowhere to go: restore and stop evicting here.
+                    // Nowhere to go (or the attempt failed in flight):
+                    // restore and stop evicting here.
+                    if in_flight_failure {
+                        failed_migrations += 1;
+                        prvm_obs::counter!("sim.failed_migrations");
+                        event("sim.migration_failed")
+                            .field("vm", victim.0)
+                            .field("scan", t)
+                            .field("kind", "overload")
+                            .emit();
+                    }
                     let restored = cluster.place_as(victim, src, spec, old_assignment);
                     debug_assert!(restored.is_ok(), "restoring a just-removed VM cannot fail");
                     break;
@@ -318,6 +578,12 @@ fn simulate_impl(
             .field("migrations", migrations - migrations_before)
             .field("slo_violations", scan_slo)
             .field("energy_wh", scan_energy_wh)
+            .field("pm_failures", pm_failures - pm_failures_before)
+            .field("evacuations", evacuations - evacuations_before)
+            .field(
+                "failed_migrations",
+                failed_migrations - failed_migrations_before,
+            )
             .emit();
         if let Some(ts) = recorder.as_deref_mut() {
             ts.push(crate::ScanSample {
@@ -328,6 +594,9 @@ fn simulate_impl(
                 migrations: migrations - migrations_before,
                 slo_violations: scan_slo,
                 energy_wh: scan_energy_wh,
+                pm_failures: pm_failures - pm_failures_before,
+                evacuations: evacuations - evacuations_before,
+                failed_migrations: failed_migrations - failed_migrations_before,
             });
         }
     }
@@ -345,6 +614,12 @@ fn simulate_impl(
         },
         overload_events,
         rejected_vms: rejected,
+        pm_failures,
+        evacuations,
+        evacuations_abandoned,
+        failed_migrations,
+        migration_attempts,
+        recovery_time_s,
     };
     prvm_obs::gauge!("sim.energy_kwh", outcome.energy_kwh);
     prvm_obs::gauge!("sim.slo_violation_pct", outcome.slo_violation_pct);
@@ -361,6 +636,11 @@ fn simulate_impl(
         .field("slo_violation_pct", outcome.slo_violation_pct)
         .field("overload_events", outcome.overload_events)
         .field("rejected_vms", outcome.rejected_vms)
+        .field("pm_failures", outcome.pm_failures)
+        .field("evacuations", outcome.evacuations)
+        .field("evacuations_abandoned", outcome.evacuations_abandoned)
+        .field("failed_migrations", outcome.failed_migrations)
+        .field("recovery_time_s", outcome.recovery_time_s)
         .emit();
     outcome
 }

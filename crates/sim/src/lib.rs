@@ -34,7 +34,11 @@ pub mod workload;
 
 pub use config::{SimConfig, WorkloadConfig};
 pub use energy::PowerCurve;
-pub use engine::{simulate, simulate_traced, simulate_with_audit, SimOutcome};
+pub use engine::{
+    simulate, simulate_faulty, simulate_faulty_traced, simulate_faulty_with_audit, simulate_traced,
+    simulate_with_audit, SimOutcome,
+};
+pub use prvm_faults::{FaultClock, FaultPlan};
 pub use runner::{ec2_score_book, run_repeats, sweep, Algorithm, MetricSummary};
 pub use timeseries::{ScanSample, TimeSeries};
 pub use workload::{build_cluster, Workload};

@@ -209,26 +209,23 @@ mod tests {
     use prvm_model::Quantizer;
     use prvm_traces::TraceKind;
 
-    fn coarse_book() -> Arc<ScoreBook> {
-        Arc::new(
-            ScoreBook::build(
-                Quantizer {
-                    core_slots: 2,
-                    mem_levels: 4,
-                    disk_levels: 2,
-                },
-                &catalog::ec2_pm_types(),
-                &catalog::ec2_vm_types(),
-                &pagerankvm::PageRankConfig::default(),
-                pagerankvm::GraphLimits::default(),
-            )
-            .unwrap(),
-        )
+    fn coarse_book() -> Result<Arc<ScoreBook>, pagerankvm::GraphError> {
+        Ok(Arc::new(ScoreBook::build(
+            Quantizer {
+                core_slots: 2,
+                mem_levels: 4,
+                disk_levels: 2,
+            },
+            &catalog::ec2_pm_types(),
+            &catalog::ec2_vm_types(),
+            &pagerankvm::PageRankConfig::default(),
+            pagerankvm::GraphLimits::default(),
+        )?))
     }
 
     #[test]
-    fn every_algorithm_constructs() {
-        let book = coarse_book();
+    fn every_algorithm_constructs() -> Result<(), pagerankvm::GraphError> {
+        let book = coarse_book()?;
         for algo in [
             Algorithm::PageRankVm,
             Algorithm::TwoChoice,
@@ -242,11 +239,12 @@ mod tests {
             assert!(!p.name().is_empty());
             assert!(!e.name().is_empty());
         }
+        Ok(())
     }
 
     #[test]
-    fn run_repeats_aggregates() {
-        let book = coarse_book();
+    fn run_repeats_aggregates() -> Result<(), pagerankvm::GraphError> {
+        let book = coarse_book()?;
         let sim = SimConfig {
             horizon_s: 1800,
             ..SimConfig::default()
@@ -264,11 +262,12 @@ mod tests {
         assert_eq!(s.mean_rejected, 0.0);
         assert!(s.pms_used.p1 <= s.pms_used.median);
         assert!(s.pms_used.median <= s.pms_used.p99);
+        Ok(())
     }
 
     #[test]
-    fn sweep_produces_grid() {
-        let book = coarse_book();
+    fn sweep_produces_grid() -> Result<(), pagerankvm::GraphError> {
+        let book = coarse_book()?;
         let sim = SimConfig {
             horizon_s: 900,
             ..SimConfig::default()
@@ -287,13 +286,15 @@ mod tests {
         assert!(rows
             .iter()
             .any(|r| r.n_vms == 20 && r.algorithm == "CompVM"));
+        Ok(())
     }
 
     #[test]
-    fn pagerankvm_uses_fewer_or_equal_pms_than_ff_on_small_runs() {
+    fn pagerankvm_uses_fewer_or_equal_pms_than_ff_on_small_runs(
+    ) -> Result<(), pagerankvm::GraphError> {
         // Smoke-scale version of the paper's headline: on a modest
         // workload PageRankVM should not need more PMs than FF.
-        let book = coarse_book();
+        let book = coarse_book()?;
         let sim = SimConfig {
             horizon_s: 900,
             ..SimConfig::default()
@@ -312,5 +313,6 @@ mod tests {
             pr.pms_used.median,
             ff.pms_used.median
         );
+        Ok(())
     }
 }

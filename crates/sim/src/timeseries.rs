@@ -21,6 +21,12 @@ pub struct ScanSample {
     pub slo_violations: usize,
     /// Energy drawn this scan, in watt-hours.
     pub energy_wh: f64,
+    /// PMs that crashed this scan (0 without a fault plan).
+    pub pm_failures: usize,
+    /// VMs successfully evacuated off crashed PMs this scan.
+    pub evacuations: usize,
+    /// Migration/evacuation attempts that failed in flight this scan.
+    pub failed_migrations: usize,
 }
 
 /// The full per-scan record of one run.
@@ -74,6 +80,12 @@ impl TimeSeries {
         self.samples.iter().map(|s| s.migrations).sum()
     }
 
+    /// Total PM crashes across the series.
+    #[must_use]
+    pub fn total_pm_failures(&self) -> usize {
+        self.samples.iter().map(|s| s.pm_failures).sum()
+    }
+
     /// Write the series as CSV (`scan,active_pms,mean_utilization,…`).
     ///
     /// A `&mut` reference works as the writer (C-RW-VALUE): pass
@@ -85,19 +97,23 @@ impl TimeSeries {
     pub fn write_csv<W: Write>(&self, mut w: W) -> std::io::Result<()> {
         writeln!(
             w,
-            "scan,active_pms,mean_utilization,overloaded_pms,migrations,slo_violations,energy_wh"
+            "scan,active_pms,mean_utilization,overloaded_pms,migrations,slo_violations,energy_wh,\
+             pm_failures,evacuations,failed_migrations"
         )?;
         for s in &self.samples {
             writeln!(
                 w,
-                "{},{},{:.6},{},{},{},{:.3}",
+                "{},{},{:.6},{},{},{},{:.3},{},{},{}",
                 s.scan,
                 s.active_pms,
                 s.mean_utilization,
                 s.overloaded_pms,
                 s.migrations,
                 s.slo_violations,
-                s.energy_wh
+                s.energy_wh,
+                s.pm_failures,
+                s.evacuations,
+                s.failed_migrations
             )?;
         }
         Ok(())
@@ -117,6 +133,9 @@ mod tests {
             migrations: migr,
             slo_violations: 0,
             energy_wh: 1.5,
+            pm_failures: 0,
+            evacuations: 0,
+            failed_migrations: 0,
         }
     }
 
@@ -129,6 +148,7 @@ mod tests {
         ts.push(sample(2, 0, 0.5));
         assert_eq!(ts.len(), 3);
         assert_eq!(ts.total_migrations(), 3);
+        assert_eq!(ts.total_pm_failures(), 0);
         assert_eq!(ts.peak_scan(), Some(1));
     }
 
@@ -163,6 +183,9 @@ mod tests {
             migrations: 3,
             slo_violations: 1,
             energy_wh: 12.3456,
+            pm_failures: 1,
+            evacuations: 2,
+            failed_migrations: 1,
         });
         ts.push(ScanSample {
             scan: 1,
@@ -172,13 +195,16 @@ mod tests {
             migrations: 0,
             slo_violations: 0,
             energy_wh: 0.0,
+            pm_failures: 0,
+            evacuations: 0,
+            failed_migrations: 0,
         });
         let mut buf = Vec::new();
         ts.write_csv(&mut buf).unwrap();
         let expected = "\
-scan,active_pms,mean_utilization,overloaded_pms,migrations,slo_violations,energy_wh
-0,2,0.500000,1,3,1,12.346
-1,10,0.123457,0,0,0,0.000
+scan,active_pms,mean_utilization,overloaded_pms,migrations,slo_violations,energy_wh,pm_failures,evacuations,failed_migrations
+0,2,0.500000,1,3,1,12.346,1,2,1
+1,10,0.123457,0,0,0,0.000,0,0,0
 ";
         assert_eq!(String::from_utf8(buf).unwrap(), expected);
     }

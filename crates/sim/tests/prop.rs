@@ -27,6 +27,9 @@ fn arb_sample() -> impl Strategy<Value = ScanSample> {
                     migrations,
                     slo_violations,
                     energy_wh,
+                    pm_failures: 0,
+                    evacuations: 0,
+                    failed_migrations: 0,
                 }
             },
         )

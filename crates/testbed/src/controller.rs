@@ -4,27 +4,223 @@
 //! The controller keeps a mirror [`Cluster`] for placement decisions,
 //! drives virtual time in 10-second ticks, collects per-node status over
 //! channels, and performs kill-and-restart migrations off overloaded nodes.
+//!
+//! ## Failure handling
+//!
+//! Early versions panicked the moment any agent channel misbehaved. The
+//! controller now degrades instead (DESIGN.md §9): losing contact with a
+//! node is a typed [`ControllerError`] naming the node, the node is
+//! **quarantined** — its mirror capacity withdrawn, its jobs re-placed
+//! through the same placement algorithm — and a quarantined node that
+//! reports again is reset and readmitted. The only panics left are for
+//! genuine bugs (the mirror rejecting the algorithm's own decision). On
+//! the paper path (no [`FaultPlan`]) nothing times out and the run is
+//! byte-identical to the pre-fault-layer controller.
 
 use crate::messages::{JobHandle, ToController, ToNode};
 use crate::node::NodeAgent;
 use crate::{TestbedConfig, TestbedOutcome};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use prvm_faults::FaultPlan;
 use prvm_model::{catalog, Cluster, EvictionPolicy, Mhz, PlacementAlgorithm, PmId, VmId};
+use prvm_obs::event;
 use prvm_traces::{generate, TraceKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
-/// Channel sends only fail when the node agent's thread died — the bug the
-/// documented `# Panics` contract turns into a panic.
-fn send_to_agent(tx: &Sender<ToNode>, msg: ToNode) {
-    tx.send(msg)
-        .unwrap_or_else(|_| panic!("node agent disconnected"));
+/// Why the controller lost contact with a node agent. Every variant names
+/// the node, so logs and quarantine events always say *which* agent went
+/// away — not just that one did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerError {
+    /// The agent's channel endpoint is closed: its thread exited.
+    NodeDisconnected {
+        /// Index of the node whose agent hung up.
+        node: usize,
+    },
+    /// The agent failed to report within [`TestbedConfig::node_timeout_ms`].
+    NodeTimeout {
+        /// Index of the unresponsive node.
+        node: usize,
+        /// Scan (virtual time step) at which the controller gave up.
+        scan: usize,
+    },
 }
 
-fn recv_from_agent(rx: &Receiver<ToController>) -> ToController {
-    rx.recv()
-        .unwrap_or_else(|_| panic!("node agent disconnected"))
+impl std::fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NodeDisconnected { node } => {
+                write!(f, "node {node} disconnected: agent channel closed")
+            }
+            Self::NodeTimeout { node, scan } => {
+                write!(f, "node {node} timed out at scan {scan}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ControllerError {}
+
+/// Controller-side liveness state of one node agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    /// Reporting normally.
+    Up,
+    /// Unresponsive: capacity withdrawn, jobs re-placed; may rejoin.
+    Quarantined,
+    /// Channel disconnected: never coming back.
+    Dead,
+}
+
+/// Send to one agent. `Err` means the agent thread is gone; the caller
+/// decides whether that is a fault to absorb or a bug to surface.
+fn send_to_agent(tx: &Sender<ToNode>, node: usize, msg: ToNode) -> Result<(), ControllerError> {
+    tx.send(msg)
+        .map_err(|_| ControllerError::NodeDisconnected { node })
+}
+
+/// Mutable controller state shared by the scan loop and the
+/// failure-recovery paths.
+struct Supervisor {
+    to_nodes: Vec<Sender<ToNode>>,
+    state: Vec<NodeState>,
+    mirror: Cluster,
+    /// Last-known handle of every live job, so jobs on a dead node can be
+    /// restarted elsewhere without the agent's cooperation.
+    registry: HashMap<VmId, JobHandle>,
+    node_failures: usize,
+    rejoined_nodes: usize,
+    replaced_jobs: usize,
+    lost_jobs: usize,
+}
+
+impl Supervisor {
+    /// Withdraw a node's capacity and re-place its resident jobs through
+    /// `placer`. A destination that turns out dead mid-hand-off is failed
+    /// over too: cascades drain through the worklist instead of recursing.
+    fn quarantine(
+        &mut self,
+        node: usize,
+        scan: usize,
+        err: &ControllerError,
+        placer: &mut dyn PlacementAlgorithm,
+    ) {
+        let dead = matches!(err, ControllerError::NodeDisconnected { .. });
+        let mut worklist: Vec<(usize, bool)> = vec![(node, dead)];
+        while let Some((n, n_dead)) = worklist.pop() {
+            match self.state[n] {
+                NodeState::Dead => continue,
+                NodeState::Quarantined => {
+                    // Capacity already withdrawn; just record it will
+                    // never rejoin.
+                    if n_dead {
+                        self.state[n] = NodeState::Dead;
+                    }
+                    continue;
+                }
+                NodeState::Up => {}
+            }
+            self.state[n] = if n_dead {
+                NodeState::Dead
+            } else {
+                NodeState::Quarantined
+            };
+            self.node_failures += 1;
+            prvm_obs::counter!("testbed.node_failures");
+            event("testbed.node_quarantined")
+                .field("node", n)
+                .field("scan", scan)
+                .field("dead", n_dead)
+                .emit();
+
+            let pm = PmId(n);
+            let victims = self.mirror.resident_vms(pm);
+            if self.mirror.is_down(pm) {
+                debug_assert!(false, "quarantined node already down in the mirror");
+            } else {
+                let down = self.mirror.mark_down(pm);
+                debug_assert!(down.is_ok(), "node index is in range");
+            }
+            for vm in victims {
+                let Ok((_, spec, _)) = self.mirror.remove(vm) else {
+                    debug_assert!(false, "resident job {} vanished", vm.0);
+                    continue;
+                };
+                let Some(job) = self.registry.get(&vm).cloned() else {
+                    debug_assert!(false, "job {} missing from the registry", vm.0);
+                    self.lost_jobs += 1;
+                    continue;
+                };
+                match placer.choose(&self.mirror, &spec, &|_| false) {
+                    Some(d) => {
+                        self.mirror
+                            .place_as(vm, d.pm, spec, d.assignment.clone())
+                            .unwrap_or_else(|e| {
+                                panic!("algorithm decision rejected by mirror: {e}")
+                            });
+                        let handle = JobHandle {
+                            assignment: d.assignment,
+                            ..job
+                        };
+                        self.registry.insert(vm, handle.clone());
+                        match send_to_agent(&self.to_nodes[d.pm.0], d.pm.0, ToNode::Start(handle)) {
+                            Ok(()) => {
+                                self.replaced_jobs += 1;
+                                event("testbed.job_replaced")
+                                    .field("job", vm.0)
+                                    .field("from", n)
+                                    .field("to", d.pm.0)
+                                    .field("scan", scan)
+                                    .emit();
+                            }
+                            Err(_) => {
+                                // The destination is dead too. Leave the
+                                // job on it in the mirror; draining the
+                                // destination re-places it again.
+                                worklist.push((d.pm.0, true));
+                            }
+                        }
+                    }
+                    None => {
+                        self.lost_jobs += 1;
+                        self.registry.remove(&vm);
+                        event("testbed.job_lost")
+                            .field("job", vm.0)
+                            .field("from", n)
+                            .field("scan", scan)
+                            .emit();
+                    }
+                }
+            }
+        }
+    }
+
+    /// A quarantined node reported again with a current-scan status:
+    /// readmit it. Its jobs were already re-placed, so the agent is reset
+    /// to empty before its capacity returns.
+    fn rejoin(&mut self, node: usize, scan: usize, placer: &mut dyn PlacementAlgorithm) {
+        debug_assert_eq!(self.state[node], NodeState::Quarantined);
+        match send_to_agent(&self.to_nodes[node], node, ToNode::Reset) {
+            Ok(()) => {
+                self.state[node] = NodeState::Up;
+                let up = self.mirror.mark_up(PmId(node));
+                debug_assert!(up.is_ok(), "node index is in range");
+                self.rejoined_nodes += 1;
+                event("testbed.node_rejoined")
+                    .field("node", node)
+                    .field("scan", scan)
+                    .emit();
+            }
+            Err(err) => {
+                // Died between its status and our reset; it holds no
+                // jobs, so this only finalizes the state.
+                self.quarantine(node, scan, &err, placer);
+            }
+        }
+    }
 }
 
 /// Run the full testbed experiment: `n_jobs` jobs placed and supervised by
@@ -35,9 +231,9 @@ fn recv_from_agent(rx: &Receiver<ToController>) -> ToController {
 ///
 /// # Panics
 ///
-/// Panics if a node agent disconnects mid-experiment or the mirror
-/// cluster rejects a placement decision (bugs, not expected runtime
-/// conditions).
+/// Panics if the mirror cluster rejects a placement decision (a bug, not
+/// an expected runtime condition). Node-agent failures no longer panic —
+/// see [`run_testbed_faulty`].
 #[must_use]
 pub fn run_testbed(
     cfg: &TestbedConfig,
@@ -46,8 +242,34 @@ pub fn run_testbed(
     evictor: &mut dyn EvictionPolicy,
     seed: u64,
 ) -> TestbedOutcome {
+    run_testbed_faulty(cfg, n_jobs, placer, evictor, seed, &FaultPlan::none())
+}
+
+/// [`run_testbed`] with injected faults: node agents may be killed or
+/// stalled per the plan's [`prvm_faults::AgentFault`]s. The controller
+/// quarantines unresponsive nodes (withdrawing their mirror capacity and
+/// re-placing their jobs), readmits nodes that report again, and always
+/// returns a complete — possibly degraded — [`TestbedOutcome`].
+///
+/// With [`FaultPlan::none`] this is exactly [`run_testbed`]: no timeout
+/// ever fires and the outcome is byte-identical to the fault-free path.
+///
+/// # Panics
+///
+/// Panics only if the mirror cluster rejects a placement decision (a bug).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_testbed_faulty(
+    cfg: &TestbedConfig,
+    n_jobs: usize,
+    placer: &mut dyn PlacementAlgorithm,
+    evictor: &mut dyn EvictionPolicy,
+    seed: u64,
+    faults: &FaultPlan,
+) -> TestbedOutcome {
     let scans = cfg.scans();
     let mut rng = StdRng::seed_from_u64(seed);
+    let timeout = Duration::from_millis(cfg.node_timeout_ms);
 
     // --- Spawn node agents ----------------------------------------------
     let (to_controller, from_nodes): (Sender<ToController>, Receiver<ToController>) = unbounded();
@@ -56,14 +278,29 @@ pub fn run_testbed(
     for node in 0..cfg.nodes {
         let (tx, rx) = unbounded();
         to_nodes.push(tx);
-        let agent = NodeAgent::new(node, cfg.slots_per_core, rx, to_controller.clone());
+        let mut agent = NodeAgent::new(node, cfg.slots_per_core, rx, to_controller.clone());
+        if let Some(fault) = faults.agent_fault(node) {
+            agent = agent.with_fault(fault);
+        }
         handles.push(std::thread::spawn(move || agent.run()));
     }
+    // Only agents hold senders now, so a fully-dead fleet is observable
+    // as a disconnect rather than an eternal block.
+    drop(to_controller);
+
+    let mut sup = Supervisor {
+        to_nodes,
+        state: vec![NodeState::Up; cfg.nodes],
+        mirror: Cluster::homogeneous(cfg.pm_spec(), cfg.nodes),
+        registry: HashMap::new(),
+        node_failures: 0,
+        rejoined_nodes: 0,
+        replaced_jobs: 0,
+        lost_jobs: 0,
+    };
 
     // --- Generate and place the jobs --------------------------------------
-    let mut mirror = Cluster::homogeneous(cfg.pm_spec(), cfg.nodes);
     let mut rejected = 0usize;
-    let mut resident = 0usize;
     let mut specs: Vec<_> = (0..n_jobs)
         .map(|_| {
             if rng.gen_bool(0.5) {
@@ -77,27 +314,28 @@ pub fn run_testbed(
     for spec in specs {
         let trace = generate(TraceKind::GoogleCluster, scans.max(1), &mut rng)
             .scaled(cfg.utilization_scale);
-        match placer.choose(&mirror, &spec, &|_| false) {
+        match placer.choose(&sup.mirror, &spec, &|_| false) {
             Some(d) => {
-                let id = mirror
+                let id = sup
+                    .mirror
                     .place(d.pm, spec.clone(), d.assignment.clone())
                     .unwrap_or_else(|e| panic!("algorithm decision rejected by mirror: {e}"));
-                send_to_agent(
-                    &to_nodes[d.pm.0],
-                    ToNode::Start(JobHandle {
-                        id,
-                        spec,
-                        assignment: d.assignment,
-                        trace,
-                    }),
-                );
-                resident += 1;
+                let handle = JobHandle {
+                    id,
+                    spec,
+                    assignment: d.assignment,
+                    trace,
+                };
+                sup.registry.insert(id, handle.clone());
+                // Agents cannot die before the first tick, so a send
+                // failure here is unreachable; absorb it anyway.
+                let sent = send_to_agent(&sup.to_nodes[d.pm.0], d.pm.0, ToNode::Start(handle));
+                debug_assert!(sent.is_ok(), "agent died before the first tick");
             }
             None => rejected += 1,
         }
     }
-    let _ = resident;
-    let pms_used_initial = mirror.active_pm_count();
+    let pms_used_initial = sup.mirror.active_pm_count();
 
     // --- Scan loop ---------------------------------------------------------
     let node_cap = Mhz(cfg.slots_per_core * u64::from(cfg.cores_per_node));
@@ -107,34 +345,86 @@ pub fn run_testbed(
     let mut active_samples = 0usize;
 
     for t in 0..scans {
-        for tx in &to_nodes {
-            send_to_agent(tx, ToNode::Tick { t });
-        }
-        // Collect exactly one status per node (lockstep).
-        let mut job_demand: HashMap<VmId, u64> = HashMap::new();
-        let mut node_demand: Vec<u64> = vec![0; cfg.nodes];
-        for _ in 0..cfg.nodes {
-            match recv_from_agent(&from_nodes) {
-                ToController::Status {
-                    node,
-                    t: rt,
-                    job_demands,
-                } => {
-                    debug_assert_eq!(rt, t, "lockstep tick");
-                    for (id, d) in job_demands {
-                        node_demand[node] += d;
-                        job_demand.insert(id, d);
-                    }
-                }
-                ToController::Killed { .. } => unreachable!("no kill in flight during tick"),
+        for node in 0..cfg.nodes {
+            if sup.state[node] == NodeState::Dead {
+                continue;
+            }
+            // Quarantined nodes still get ticks so a merely-stalled agent
+            // can answer a current one and rejoin.
+            if let Err(e) = send_to_agent(&sup.to_nodes[node], node, ToNode::Tick { t }) {
+                sup.quarantine(node, t, &e, placer);
             }
         }
 
-        // SLO + overload accounting over *active* nodes.
+        // Collect one current-scan status per non-dead node (lockstep),
+        // under a shared real-time deadline. On the fault-free path every
+        // agent answers immediately and the deadline is never felt.
+        let mut job_demand: HashMap<VmId, u64> = HashMap::new();
+        let mut node_demand: Vec<u64> = vec![0; cfg.nodes];
+        let mut reported = vec![false; cfg.nodes];
+        let mut awaiting = sup.state.iter().filter(|s| **s != NodeState::Dead).count();
+        let deadline = Instant::now() + timeout;
+        while awaiting > 0 {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match from_nodes.recv_timeout(remaining) {
+                Ok(ToController::Status {
+                    node,
+                    t: rt,
+                    job_demands,
+                }) => {
+                    if rt != t || reported[node] {
+                        // A stale answer from a previously-stalled agent
+                        // (its jobs were re-placed; the demands are void).
+                        continue;
+                    }
+                    reported[node] = true;
+                    awaiting -= 1;
+                    match sup.state[node] {
+                        NodeState::Up => {
+                            for (id, d) in job_demands {
+                                node_demand[node] += d;
+                                job_demand.insert(id, d);
+                            }
+                        }
+                        // A current-scan status from a quarantined node
+                        // means it is back; readmit it (empty) and ignore
+                        // the demands of its already-re-placed jobs.
+                        NodeState::Quarantined => sup.rejoin(node, t, placer),
+                        NodeState::Dead => {}
+                    }
+                }
+                // A late kill acknowledgment from a node that timed out
+                // mid-handshake; the job was already recovered.
+                Ok(ToController::Killed { .. }) => {}
+                Err(RecvTimeoutError::Timeout) => {
+                    let stragglers: Vec<usize> = (0..cfg.nodes)
+                        .filter(|&n| sup.state[n] == NodeState::Up && !reported[n])
+                        .collect();
+                    for node in stragglers {
+                        let err = ControllerError::NodeTimeout { node, scan: t };
+                        sup.quarantine(node, t, &err, placer);
+                    }
+                    awaiting = 0;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    let up: Vec<usize> = (0..cfg.nodes)
+                        .filter(|&n| sup.state[n] == NodeState::Up)
+                        .collect();
+                    for node in up {
+                        let err = ControllerError::NodeDisconnected { node };
+                        sup.quarantine(node, t, &err, placer);
+                    }
+                    awaiting = 0;
+                }
+            }
+        }
+
+        // SLO + overload accounting over *active* nodes. Jobs lost to
+        // capacity exhaustion keep violating their SLO every scan.
         let mut overloaded: Vec<usize> = Vec::new();
         #[allow(clippy::needless_range_loop)] // node is both PmId and index
         for node in 0..cfg.nodes {
-            if mirror.pm(PmId(node)).is_empty() {
+            if sup.state[node] != NodeState::Up || sup.mirror.pm(PmId(node)).is_empty() {
                 continue;
             }
             active_samples += 1;
@@ -146,6 +436,8 @@ pub fn run_testbed(
                 overloaded.push(node);
             }
         }
+        active_samples += sup.lost_jobs;
+        slo_samples += sup.lost_jobs;
         if !overloaded.is_empty() {
             overload_events += 1;
         }
@@ -153,12 +445,15 @@ pub fn run_testbed(
 
         // Kill-and-restart migrations.
         for src in overloaded {
+            if sup.state[src] != NodeState::Up {
+                continue;
+            }
             loop {
                 let util = node_demand[src] as f64 / node_cap.get() as f64;
-                if util <= cfg.overload_threshold || mirror.pm(PmId(src)).is_empty() {
+                if util <= cfg.overload_threshold || sup.mirror.pm(PmId(src)).is_empty() {
                     break;
                 }
-                let Some(victim) = evictor.select(mirror.pm(PmId(src)), &|id| {
+                let Some(victim) = evictor.select(sup.mirror.pm(PmId(src)), &|id| {
                     Mhz(job_demand.get(&id).copied().unwrap_or(0))
                 }) else {
                     break;
@@ -166,7 +461,7 @@ pub fn run_testbed(
                 let victim_demand = job_demand.get(&victim).copied().unwrap_or(0);
                 // Choose the destination BEFORE killing so an unplaceable
                 // job is never interrupted.
-                let Ok((_, spec, _)) = mirror.remove(victim) else {
+                let Ok((_, spec, _)) = sup.mirror.remove(victim) else {
                     debug_assert!(false, "evictor selected a non-resident job {}", victim.0);
                     break;
                 };
@@ -176,42 +471,122 @@ pub fn run_testbed(
                         || (node_demand[pm.0] + victim_demand) as f64 / node_cap.get() as f64
                             > cfg.overload_threshold
                 };
-                let Some(d) = placer.choose(&mirror, &spec, &exclude) else {
+                let Some(d) = placer.choose(&sup.mirror, &spec, &exclude) else {
                     // Nowhere to go: put it back and stop evicting here.
-                    let Some(a) = mirror.pm(PmId(src)).first_feasible(&spec) else {
+                    let Some(a) = sup.mirror.pm(PmId(src)).first_feasible(&spec) else {
                         debug_assert!(false, "job came from this node");
                         break;
                     };
-                    let restored = mirror.place_as(victim, PmId(src), spec, a);
+                    let restored = sup.mirror.place_as(victim, PmId(src), spec, a);
                     debug_assert!(restored.is_ok(), "restoring a just-removed job cannot fail");
                     break;
                 };
-                // Kill on the source, restart on the destination.
-                send_to_agent(&to_nodes[src], ToNode::Kill(victim));
-                let job = match recv_from_agent(&from_nodes) {
-                    ToController::Killed { job, .. } => job,
-                    ToController::Status { .. } => unreachable!("no tick in flight during kill"),
+                // Kill on the source, restart on the destination. A source
+                // that dies mid-handshake forfeits the job: the registry
+                // copy restarts on the destination and the source is
+                // quarantined.
+                let killed = match send_to_agent(&sup.to_nodes[src], src, ToNode::Kill(victim)) {
+                    Ok(()) => {
+                        let kill_deadline = Instant::now() + timeout;
+                        loop {
+                            let remaining = kill_deadline.saturating_duration_since(Instant::now());
+                            match from_nodes.recv_timeout(remaining) {
+                                Ok(ToController::Killed { job, .. }) if job.id == victim => {
+                                    break Some(job);
+                                }
+                                // Foreign late acks and stale statuses are
+                                // dropped; rejoins wait for the next scan.
+                                Ok(_) => {}
+                                Err(_) => break None,
+                            }
+                        }
+                    }
+                    Err(_) => None,
                 };
-                mirror
+                let Some(job) = killed else {
+                    // Quarantining the source may re-place its other jobs
+                    // onto our chosen destination, so the victim needs a
+                    // fresh decision afterwards.
+                    let registered = sup.registry.get(&victim).cloned();
+                    let err = ControllerError::NodeTimeout { node: src, scan: t };
+                    sup.quarantine(src, t, &err, placer);
+                    let Some(job) = registered else {
+                        debug_assert!(false, "victim {} missing from the registry", victim.0);
+                        sup.lost_jobs += 1;
+                        break;
+                    };
+                    match placer.choose(&sup.mirror, &spec, &|_| false) {
+                        Some(d2) => {
+                            sup.mirror
+                                .place_as(victim, d2.pm, spec, d2.assignment.clone())
+                                .unwrap_or_else(|e| {
+                                    panic!("algorithm decision rejected by mirror: {e}")
+                                });
+                            let handle = JobHandle {
+                                assignment: d2.assignment,
+                                ..job
+                            };
+                            sup.registry.insert(victim, handle.clone());
+                            match send_to_agent(
+                                &sup.to_nodes[d2.pm.0],
+                                d2.pm.0,
+                                ToNode::Start(handle),
+                            ) {
+                                Ok(()) => {
+                                    sup.replaced_jobs += 1;
+                                    event("testbed.job_replaced")
+                                        .field("job", victim.0)
+                                        .field("from", src)
+                                        .field("to", d2.pm.0)
+                                        .field("scan", t)
+                                        .emit();
+                                }
+                                Err(err) => sup.quarantine(d2.pm.0, t, &err, placer),
+                            }
+                        }
+                        None => {
+                            sup.lost_jobs += 1;
+                            sup.registry.remove(&victim);
+                            event("testbed.job_lost")
+                                .field("job", victim.0)
+                                .field("from", src)
+                                .field("scan", t)
+                                .emit();
+                        }
+                    }
+                    break;
+                };
+                sup.mirror
                     .place_as(victim, d.pm, spec, d.assignment.clone())
                     .unwrap_or_else(|e| panic!("algorithm decision rejected by mirror: {e}"));
-                send_to_agent(
-                    &to_nodes[d.pm.0],
-                    ToNode::Start(JobHandle {
-                        assignment: d.assignment,
-                        ..job
-                    }),
-                );
-                migrations += 1;
+                let handle = JobHandle {
+                    assignment: d.assignment,
+                    ..job
+                };
+                sup.registry.insert(victim, handle.clone());
+                match send_to_agent(&sup.to_nodes[d.pm.0], d.pm.0, ToNode::Start(handle)) {
+                    Ok(()) => migrations += 1,
+                    Err(err) => {
+                        // Dead destination: drain it (re-placing this job
+                        // with the rest) and stop evicting this source.
+                        sup.quarantine(d.pm.0, t, &err, placer);
+                        break;
+                    }
+                }
                 node_demand[d.pm.0] += victim_demand;
                 node_demand[src] = node_demand[src].saturating_sub(victim_demand);
+                if sup.state[src] != NodeState::Up {
+                    break;
+                }
             }
         }
     }
 
     // --- Shutdown -----------------------------------------------------------
-    for tx in &to_nodes {
-        let _ = tx.send(ToNode::Shutdown);
+    for (node, tx) in sup.to_nodes.iter().enumerate() {
+        if sup.state[node] != NodeState::Dead {
+            let _ = tx.send(ToNode::Shutdown);
+        }
     }
     for h in handles {
         h.join().unwrap_or_else(|_| panic!("agent thread panicked"));
@@ -219,7 +594,7 @@ pub fn run_testbed(
 
     TestbedOutcome {
         pms_used_initial,
-        pms_used: mirror.ever_used_count(),
+        pms_used: sup.mirror.ever_used_count(),
         migrations,
         slo_violation_pct: if active_samples == 0 {
             0.0
@@ -228,6 +603,10 @@ pub fn run_testbed(
         },
         overload_events,
         rejected_jobs: rejected,
+        node_failures: sup.node_failures,
+        rejoined_nodes: sup.rejoined_nodes,
+        replaced_jobs: sup.replaced_jobs,
+        lost_jobs: sup.lost_jobs,
     }
 }
 
@@ -294,5 +673,14 @@ mod tests {
     fn slo_percentage_is_bounded() {
         let o = run_ff(&quick_cfg(), 150, 5);
         assert!((0.0..=100.0).contains(&o.slo_violation_pct));
+    }
+
+    #[test]
+    fn controller_errors_name_the_node() {
+        let disc = ControllerError::NodeDisconnected { node: 7 };
+        assert!(disc.to_string().contains("node 7"), "{disc}");
+        let slow = ControllerError::NodeTimeout { node: 3, scan: 12 };
+        let msg = slow.to_string();
+        assert!(msg.contains("node 3") && msg.contains("scan 12"), "{msg}");
     }
 }

@@ -38,9 +38,10 @@ pub mod controller;
 pub mod messages;
 pub mod node;
 
-pub use controller::run_testbed;
+pub use controller::{run_testbed, run_testbed_faulty, ControllerError};
 pub use messages::{JobHandle, ToController, ToNode};
 pub use node::NodeAgent;
+pub use prvm_faults::{AgentFault, FaultPlan, StallWindow};
 
 use prvm_model::{MemMib, Mhz, PmSpec};
 use serde::{Deserialize, Serialize};
@@ -66,6 +67,11 @@ pub struct TestbedConfig {
     /// Scale factor applied to the Google-trace job utilizations so the
     /// aggregate load fits the testbed's physical capacity.
     pub utilization_scale: f64,
+    /// How long the controller waits for a node's status before
+    /// quarantining it (real time — the one wall-clock knob in an
+    /// otherwise virtual-time protocol). Never felt on the fault-free
+    /// path, where every agent answers immediately.
+    pub node_timeout_ms: u64,
 }
 
 impl Default for TestbedConfig {
@@ -79,6 +85,7 @@ impl Default for TestbedConfig {
             overload_threshold: 0.9,
             slo_threshold: 1.0,
             utilization_scale: 0.5,
+            node_timeout_ms: 2000,
         }
     }
 }
@@ -147,6 +154,16 @@ pub struct TestbedOutcome {
     pub overload_events: usize,
     /// Jobs rejected at initial placement.
     pub rejected_jobs: usize,
+    /// Node agents quarantined at least once (fault injection only;
+    /// always zero on the paper path).
+    pub node_failures: usize,
+    /// Quarantined nodes that reported again and were readmitted.
+    pub rejoined_nodes: usize,
+    /// Jobs re-placed off quarantined or dead nodes.
+    pub replaced_jobs: usize,
+    /// Jobs dropped because no capacity remained to re-place them; each
+    /// keeps counting as an SLO-violating sample every later scan.
+    pub lost_jobs: usize,
 }
 
 #[cfg(test)]

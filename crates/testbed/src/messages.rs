@@ -29,6 +29,10 @@ pub enum ToNode {
         /// Scan index (10-second granularity).
         t: usize,
     },
+    /// Drop every resident job without replying. Sent when a quarantined
+    /// node rejoins: the controller already re-placed its jobs elsewhere,
+    /// so whatever the agent still holds is stale.
+    Reset,
     /// Terminate the agent thread.
     Shutdown,
 }

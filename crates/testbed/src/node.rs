@@ -7,6 +7,7 @@
 
 use crate::messages::{JobHandle, ToController, ToNode};
 use crossbeam::channel::{Receiver, Sender};
+use prvm_faults::AgentFault;
 use prvm_model::VmId;
 
 /// Per-node state and message loop.
@@ -17,6 +18,8 @@ pub struct NodeAgent {
     jobs: Vec<JobHandle>,
     rx: Receiver<ToNode>,
     tx: Sender<ToController>,
+    /// Injected failure behavior; `None` on the paper path.
+    fault: Option<AgentFault>,
 }
 
 impl NodeAgent {
@@ -34,7 +37,16 @@ impl NodeAgent {
             jobs: Vec::new(),
             rx,
             tx,
+            fault: None,
         }
+    }
+
+    /// Attach an injected fault: the agent dies at `die_at_tick` and/or
+    /// stays silent during the stall window (builder style).
+    #[must_use]
+    pub fn with_fault(mut self, fault: AgentFault) -> Self {
+        self.fault = Some(fault);
+        self
     }
 
     /// CPU demand of one job at scan `t`, in slot units: each vCPU bursts
@@ -60,6 +72,17 @@ impl NodeAgent {
                     }
                 }
                 ToNode::Tick { t } => {
+                    if let Some(fault) = self.fault {
+                        if fault.die_at_tick.is_some_and(|d| t >= d) {
+                            // Hard node loss: exit without a word; the
+                            // controller sees a disconnect/timeout.
+                            return;
+                        }
+                        if fault.stall.is_some_and(|w| w.covers(t)) {
+                            // Transient partition: swallow the tick.
+                            continue;
+                        }
+                    }
                     let job_demands: Vec<(VmId, u64)> = self
                         .jobs
                         .iter()
@@ -71,6 +94,7 @@ impl NodeAgent {
                         job_demands,
                     });
                 }
+                ToNode::Reset => self.jobs.clear(),
                 ToNode::Shutdown => break,
             }
         }
@@ -134,6 +158,63 @@ mod tests {
                 assert_eq!(job_demands.len(), 1);
                 assert_eq!(job_demands[0].0, VmId(2));
             }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        to_node.send(ToNode::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn killed_agent_exits_without_replying() {
+        let (to_node, node_rx) = unbounded();
+        let (node_tx, from_node) = unbounded();
+        let agent = NodeAgent::new(1, 32, node_rx, node_tx).with_fault(AgentFault {
+            die_at_tick: Some(2),
+            stall: None,
+        });
+        let handle = std::thread::spawn(move || agent.run());
+
+        to_node.send(ToNode::Start(job(1, 0.5))).unwrap();
+        to_node.send(ToNode::Tick { t: 0 }).unwrap();
+        assert!(matches!(
+            from_node.recv().unwrap(),
+            ToController::Status { .. }
+        ));
+        to_node.send(ToNode::Tick { t: 2 }).unwrap();
+        handle.join().unwrap();
+        assert!(from_node.recv().is_err(), "agent died silently");
+    }
+
+    #[test]
+    fn stalled_agent_goes_silent_then_resumes_and_resets() {
+        let (to_node, node_rx) = unbounded();
+        let (node_tx, from_node) = unbounded();
+        let agent = NodeAgent::new(0, 32, node_rx, node_tx).with_fault(AgentFault {
+            die_at_tick: None,
+            stall: Some(prvm_faults::StallWindow { from: 1, ticks: 2 }),
+        });
+        let handle = std::thread::spawn(move || agent.run());
+
+        to_node.send(ToNode::Start(job(1, 0.5))).unwrap();
+        // Ticks 1 and 2 fall in the stall window and get no reply; the
+        // next Status received answers tick 3.
+        for t in 0..4 {
+            to_node.send(ToNode::Tick { t }).unwrap();
+        }
+        let ts: Vec<usize> = (0..2)
+            .map(|_| match from_node.recv().unwrap() {
+                ToController::Status { t, .. } => t,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(ts, vec![0, 3]);
+
+        // After a Reset the agent holds no jobs.
+        to_node.send(ToNode::Reset).unwrap();
+        to_node.send(ToNode::Tick { t: 4 }).unwrap();
+        match from_node.recv().unwrap() {
+            ToController::Status { job_demands, .. } => assert!(job_demands.is_empty()),
             other => panic!("unexpected {other:?}"),
         }
 

@@ -1,0 +1,129 @@
+//! Failure-injection integration tests for the testbed controller: zero
+//! drift with the empty plan, degraded-but-complete outcomes when agents
+//! die mid-run, and quarantine/rejoin for transient stalls.
+
+use prvm_baselines::{FirstFit, MinimumMigrationTime};
+use prvm_testbed::{run_testbed, run_testbed_faulty, FaultPlan, TestbedConfig, TestbedOutcome};
+
+fn run_with_plan(
+    cfg: &TestbedConfig,
+    n_jobs: usize,
+    seed: u64,
+    plan: &FaultPlan,
+) -> TestbedOutcome {
+    run_testbed_faulty(
+        cfg,
+        n_jobs,
+        &mut FirstFit::new(),
+        &mut MinimumMigrationTime::new(),
+        seed,
+        plan,
+    )
+}
+
+/// Golden zero-drift check: with no fault plan the controller reproduces
+/// the exact pre-fault-layer outcome for this pinned seed, down to the
+/// f64 bit pattern of the SLO percentage. If this fails, the paper path
+/// moved.
+#[test]
+fn empty_plan_is_byte_identical_to_pre_fault_golden() {
+    let cfg = TestbedConfig {
+        duration_s: 600,
+        ..TestbedConfig::default()
+    };
+    let plain = run_testbed(
+        &cfg,
+        80,
+        &mut FirstFit::new(),
+        &mut MinimumMigrationTime::new(),
+        2024,
+    );
+
+    // Captured from the tree immediately before the fault layer landed.
+    assert_eq!(plain.pms_used_initial, 2);
+    assert_eq!(plain.pms_used, 4);
+    assert_eq!(plain.migrations, 302);
+    assert_eq!(plain.overload_events, 35);
+    assert_eq!(plain.rejected_jobs, 0);
+    assert_eq!(
+        plain.slo_violation_pct.to_bits(),
+        0x4029_e492_4924_9249,
+        "slo_violation_pct drifted: {}",
+        plain.slo_violation_pct
+    );
+
+    // The fault counters are all zero on the paper path…
+    assert_eq!(plain.node_failures, 0);
+    assert_eq!(plain.rejoined_nodes, 0);
+    assert_eq!(plain.replaced_jobs, 0);
+    assert_eq!(plain.lost_jobs, 0);
+
+    // …and an explicit empty plan is the same run.
+    let empty = run_with_plan(&cfg, 80, 2024, &FaultPlan::none());
+    assert_eq!(plain, empty);
+}
+
+/// The acceptance scenario: a node agent killed mid-run must yield a
+/// degraded-but-complete outcome — the node quarantined, its jobs
+/// re-placed, no panic — and stay deterministic.
+#[test]
+fn killed_agent_mid_run_degrades_without_panicking() {
+    let cfg = TestbedConfig {
+        duration_s: 120, // 12 ticks
+        node_timeout_ms: 400,
+        ..TestbedConfig::default()
+    };
+    // FirstFit packs node 0 first, so killing it strands real jobs.
+    let plan = FaultPlan::none().with_agent_kill(0, 3);
+    let o = run_with_plan(&cfg, 80, 2024, &plan);
+
+    assert_eq!(o.node_failures, 1, "{o:?}");
+    assert_eq!(o.rejoined_nodes, 0, "a dead agent never rejoins: {o:?}");
+    assert!(o.replaced_jobs > 0, "node 0's jobs move elsewhere: {o:?}");
+    assert_eq!(o.lost_jobs, 0, "nine idle nodes have room: {o:?}");
+    assert!((0.0..=100.0).contains(&o.slo_violation_pct));
+    // The re-placements spread onto nodes the initial allocation never
+    // touched.
+    assert!(o.pms_used > o.pms_used_initial, "{o:?}");
+
+    assert_eq!(o, run_with_plan(&cfg, 80, 2024, &plan), "deterministic");
+}
+
+/// A transient stall quarantines the node and readmits it once it answers
+/// a current tick again.
+#[test]
+fn stalled_agent_is_quarantined_then_rejoins() {
+    let cfg = TestbedConfig {
+        duration_s: 100, // 10 ticks
+        node_timeout_ms: 300,
+        ..TestbedConfig::default()
+    };
+    let plan = FaultPlan::none().with_agent_stall(0, 2, 2);
+    let o = run_with_plan(&cfg, 80, 2024, &plan);
+
+    assert_eq!(o.node_failures, 1, "{o:?}");
+    assert_eq!(o.rejoined_nodes, 1, "answers again at tick 4: {o:?}");
+    assert!(o.replaced_jobs > 0, "{o:?}");
+    assert_eq!(o.lost_jobs, 0, "{o:?}");
+}
+
+/// Killing every node still terminates with a complete outcome: all jobs
+/// are eventually lost, nothing hangs, nothing panics.
+#[test]
+fn losing_every_node_still_completes() {
+    let cfg = TestbedConfig {
+        nodes: 3,
+        duration_s: 80, // 8 ticks
+        node_timeout_ms: 300,
+        ..TestbedConfig::default()
+    };
+    let mut plan = FaultPlan::none();
+    for node in 0..cfg.nodes {
+        plan = plan.with_agent_kill(node, 2);
+    }
+    let o = run_with_plan(&cfg, 30, 7, &plan);
+    assert_eq!(o.node_failures, cfg.nodes, "{o:?}");
+    assert!(o.lost_jobs > 0, "nowhere left to run: {o:?}");
+    assert!((0.0..=100.0).contains(&o.slo_violation_pct));
+    assert!(o.slo_violation_pct > 0.0, "lost jobs violate SLO: {o:?}");
+}

@@ -9,6 +9,7 @@
 
 pub use pagerankvm;
 pub use prvm_baselines as baselines;
+pub use prvm_faults as faults;
 pub use prvm_model as model;
 pub use prvm_sim as sim;
 pub use prvm_solver as solver;

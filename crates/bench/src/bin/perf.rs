@@ -1,0 +1,10 @@
+//! Standalone entry for the perf sweep — same engine as `pagerankvm
+//! bench` (see `prvm_bench::perf`): writes `BENCH_PRVM.json`.
+
+fn main() {
+    let args = prvm_bench::perf::PerfArgs::from_env();
+    if let Err(message) = prvm_bench::perf::main_with(&args) {
+        eprintln!("perf: {message}");
+        std::process::exit(1);
+    }
+}

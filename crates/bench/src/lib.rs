@@ -9,6 +9,8 @@
 
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use prvm_sim::{Algorithm, MetricSummary, SimConfig};
 use prvm_testbed::{run_testbed, TestbedConfig, TestbedOutcome};
 use prvm_traces::stats::Percentiles;
@@ -144,6 +146,10 @@ pub struct SimSweep {
     pub repeats: usize,
     /// Base seed.
     pub seed: u64,
+    /// VM counts the sweep was computed with. Stored in the cache file so
+    /// a stale cache from a different configuration is detected even if
+    /// the file name lies (copied/renamed caches, older formats).
+    pub vms: Vec<usize>,
 }
 
 /// Compute (or load) the simulation sweep.
@@ -160,9 +166,15 @@ pub fn sim_sweep(args: &CliArgs) -> SimSweep {
             .join("_")
     );
     if !args.fresh {
-        if let Some(hit) = load_cache::<SimSweep>(&key) {
-            eprintln!("[cache] loaded {key} (pass --fresh to recompute)");
-            return hit;
+        match load_cache::<SimSweep>(&key) {
+            Some(hit)
+                if hit.repeats == args.repeats && hit.seed == args.seed && hit.vms == args.vms =>
+            {
+                eprintln!("[cache] loaded {key} (pass --fresh to recompute)");
+                return hit;
+            }
+            Some(_) => eprintln!("[cache] {key} is from a different configuration; recomputing"),
+            None => {}
         }
     }
     let t0 = Instant::now();
@@ -203,6 +215,7 @@ pub fn sim_sweep(args: &CliArgs) -> SimSweep {
         rows,
         repeats: args.repeats,
         seed: args.seed,
+        vms: args.vms.clone(),
     };
     store_cache(&key, &sweep);
     sweep
@@ -236,6 +249,9 @@ pub struct TestbedSweep {
     pub repeats: usize,
     /// Base seed.
     pub seed: u64,
+    /// Job counts the sweep was computed with (cache-staleness guard,
+    /// mirroring [`SimSweep::vms`]).
+    pub jobs: Vec<usize>,
 }
 
 /// Compute (or load) the testbed sweep.
@@ -252,9 +268,17 @@ pub fn testbed_sweep(args: &CliArgs) -> TestbedSweep {
             .join("_")
     );
     if !args.fresh {
-        if let Some(hit) = load_cache::<TestbedSweep>(&key) {
-            eprintln!("[cache] loaded {key} (pass --fresh to recompute)");
-            return hit;
+        match load_cache::<TestbedSweep>(&key) {
+            Some(hit)
+                if hit.repeats == args.repeats
+                    && hit.seed == args.seed
+                    && hit.jobs == args.jobs =>
+            {
+                eprintln!("[cache] loaded {key} (pass --fresh to recompute)");
+                return hit;
+            }
+            Some(_) => eprintln!("[cache] {key} is from a different configuration; recomputing"),
+            None => {}
         }
     }
     let cfg = TestbedConfig::default();
@@ -267,6 +291,10 @@ pub fn testbed_sweep(args: &CliArgs) -> TestbedSweep {
     for &jobs in &args.jobs {
         for algo in Algorithm::PAPER_SET {
             let t = Instant::now();
+            // Repeats stay sequential on purpose: unlike the simulator's
+            // virtual clock, testbed jobs race real-time deadlines
+            // (`recv_timeout`), so parallel repeats would contend for CPU
+            // and could flip SLO outcomes nondeterministically.
             let outcomes: Vec<TestbedOutcome> = (0..args.repeats)
                 .map(|r| {
                     let seed = args.seed.wrapping_add(r as u64);
@@ -303,6 +331,7 @@ pub fn testbed_sweep(args: &CliArgs) -> TestbedSweep {
         rows,
         repeats: args.repeats,
         seed: args.seed,
+        jobs: args.jobs.clone(),
     };
     store_cache(&key, &sweep);
     sweep
@@ -448,10 +477,35 @@ mod tests {
             rows: vec![],
             repeats: 1,
             seed: 2,
+            jobs: vec![10, 20],
         };
         store_cache("test-roundtrip.json", &sweep);
         let back: TestbedSweep = load_cache("test-roundtrip.json").unwrap();
         assert_eq!(back.repeats, 1);
         assert_eq!(back.seed, 2);
+        assert_eq!(back.jobs, vec![10, 20]);
+    }
+
+    /// A cache file whose *contents* disagree with the requested
+    /// configuration must not be reused — the header fields are the
+    /// guard, not the file name.
+    #[test]
+    fn stale_cache_header_is_detected() {
+        let stale = SimSweep {
+            rows: vec![],
+            repeats: 3,
+            seed: 9,
+            vms: vec![10],
+        };
+        store_cache("test-stale-header.json", &stale);
+        let back: SimSweep = load_cache("test-stale-header.json").unwrap();
+        let want = CliArgs {
+            repeats: 5,
+            ..CliArgs::default()
+        };
+        assert!(
+            back.repeats != want.repeats || back.seed != want.seed || back.vms != want.vms,
+            "header mismatch must be observable so sim_sweep recomputes"
+        );
     }
 }

@@ -1,0 +1,703 @@
+//! The `pagerankvm bench` perf harness: times graph build, PageRank
+//! convergence and end-to-end placement across VM counts and worker
+//! counts, and writes the machine-readable `BENCH_PRVM.json` report
+//! (schema [`PERF_SCHEMA`]).
+//!
+//! Thread counts change **wall-clock only**: the deterministic pool
+//! contract (DESIGN.md §10) guarantees bit-identical results at every
+//! worker count, and the harness re-checks that cheaply by comparing
+//! placement outcomes across the thread list. Reported speedups are
+//! relative to the first (smallest) thread count in `--threads`, which
+//! defaults to 1.
+
+use pagerankvm::{
+    pagerank_with_pool, GraphLimits, PageRankConfig, PageRankVmPlacer, Pool, ProfileGraph,
+    ProfileSpace, ProfileVm, ScoreBook,
+};
+use prvm_model::{catalog, place_batch, Cluster, Quantizer, VmSpec};
+use prvm_obs::Span;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// Schema tag stamped into every report; bump when the shape changes.
+pub const PERF_SCHEMA: &str = "prvm-bench-perf/v1";
+
+/// The stage names a valid report may contain, in pipeline order.
+pub const STAGES: [&str; 4] = ["graph_build", "pagerank", "placement", "end_to_end"];
+
+/// Command-line options of `pagerankvm bench` / the `perf` binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfArgs {
+    /// VM counts for the placement stages (paper scale: 1000–3000).
+    pub vms: Vec<usize>,
+    /// Worker counts to sweep; the first entry is the speedup baseline.
+    pub threads: Vec<usize>,
+    /// Timed repeats per configuration (median/p95 are over these).
+    pub repeats: usize,
+    /// Base seed recorded in the report (workloads are derived from it).
+    pub seed: u64,
+    /// Output path for the JSON report.
+    pub out: PathBuf,
+    /// When set, skip measuring: load this report, validate it, exit.
+    pub check: Option<PathBuf>,
+    /// Profile-space resolution (not CLI-exposed; tests coarsen it to
+    /// keep debug-build runs quick).
+    pub quantizer: Quantizer,
+}
+
+impl Default for PerfArgs {
+    fn default() -> Self {
+        Self {
+            vms: vec![1000, 2000, 3000],
+            threads: vec![1, 2, 4],
+            repeats: 3,
+            seed: 42,
+            out: PathBuf::from("BENCH_PRVM.json"),
+            check: None,
+            quantizer: Quantizer::default(),
+        }
+    }
+}
+
+impl PerfArgs {
+    /// Parse `--vms a,b,c`, `--threads a,b,c`, `--repeats N`, `--seed N`,
+    /// `--out FILE` and `--check FILE`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on unknown flags, missing values,
+    /// unparseable numbers, or empty/zero lists.
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let usage = "usage: bench [--vms a,b,c] [--threads a,b,c] [--repeats N] [--seed N] \
+                     [--out FILE] [--check FILE]";
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        let int_list = |text: String| -> Result<Vec<usize>, String> {
+            let list: Vec<usize> = text
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("{s:?} is not a count; {usage}"))
+                })
+                .collect::<Result<_, _>>()?;
+            if list.is_empty() || list.contains(&0) {
+                return Err(format!("counts must be positive; {usage}"));
+            }
+            Ok(list)
+        };
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next()
+                    .ok_or_else(|| format!("{name} needs a value; {usage}"))
+            };
+            match flag.as_str() {
+                "--vms" => out.vms = int_list(value("--vms")?)?,
+                "--threads" => out.threads = int_list(value("--threads")?)?,
+                "--repeats" => {
+                    out.repeats = value("--repeats")?
+                        .parse()
+                        .map_err(|_| format!("--repeats wants an integer; {usage}"))?;
+                    if out.repeats == 0 {
+                        return Err(format!("--repeats must be positive; {usage}"));
+                    }
+                }
+                "--seed" => {
+                    out.seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| format!("--seed wants an integer; {usage}"))?;
+                }
+                "--out" => out.out = PathBuf::from(value("--out")?),
+                "--check" => out.check = Some(PathBuf::from(value("--check")?)),
+                other => return Err(format!("unknown flag {other}; {usage}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parse the process arguments (skipping argv\[0\]), exiting with the
+    /// usage message on malformed flags.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::try_parse(std::env::args().skip(1)).unwrap_or_else(|message| {
+            eprintln!("{message}");
+            std::process::exit(2);
+        })
+    }
+}
+
+/// One measured (stage, vms, threads) cell of the sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageRow {
+    /// Stage name, one of [`STAGES`].
+    pub stage: String,
+    /// VM count, or 0 for stages independent of it (graph/PageRank).
+    pub vms: usize,
+    /// Worker count the stage ran with.
+    pub threads: usize,
+    /// Nearest-rank median wall-clock over the repeats, milliseconds.
+    pub median_ms: f64,
+    /// Nearest-rank 95th-percentile wall-clock, milliseconds.
+    pub p95_ms: f64,
+    /// `median(baseline threads) / median(this row)`; 1.0 on the
+    /// baseline row itself. The baseline is the first `--threads` entry.
+    pub speedup_vs_1t: f64,
+    /// Profile-graph node count the stage operated on (0 if n/a).
+    pub graph_nodes: usize,
+    /// Profile-graph edge count the stage operated on (0 if n/a).
+    pub graph_edges: usize,
+}
+
+/// The full `BENCH_PRVM.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Always [`PERF_SCHEMA`] for reports this crate writes.
+    pub schema: String,
+    /// Base seed the sweep ran with.
+    pub seed: u64,
+    /// Repeats per cell.
+    pub repeats: usize,
+    /// `std::thread::available_parallelism` on the measuring host —
+    /// speedups above this are not expected.
+    pub host_threads: usize,
+    /// The `--threads` sweep list; the first entry is the baseline.
+    pub thread_counts: Vec<usize>,
+    /// One row per measured cell.
+    pub rows: Vec<StageRow>,
+}
+
+impl PerfReport {
+    /// Structural validation used by `--check` and the CI smoke job.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a message.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != PERF_SCHEMA {
+            return Err(format!(
+                "schema {:?} != expected {PERF_SCHEMA:?}",
+                self.schema
+            ));
+        }
+        if self.repeats == 0 {
+            return Err("repeats must be positive".into());
+        }
+        if self.host_threads == 0 {
+            return Err("host_threads must be positive".into());
+        }
+        if self.thread_counts.is_empty() || self.thread_counts.contains(&0) {
+            return Err("thread_counts must be non-empty and positive".into());
+        }
+        if self.rows.is_empty() {
+            return Err("report has no rows".into());
+        }
+        for (i, row) in self.rows.iter().enumerate() {
+            let at = |msg: &str| format!("row {i} ({}/{}t): {msg}", row.stage, row.threads);
+            if !STAGES.contains(&row.stage.as_str()) {
+                return Err(at(&format!("unknown stage {:?}", row.stage)));
+            }
+            if !self.thread_counts.contains(&row.threads) {
+                return Err(at("threads not in thread_counts"));
+            }
+            if !(row.median_ms.is_finite() && row.median_ms >= 0.0) {
+                return Err(at("median_ms must be finite and non-negative"));
+            }
+            if !(row.p95_ms.is_finite() && row.p95_ms >= row.median_ms) {
+                return Err(at("p95_ms must be finite and >= median_ms"));
+            }
+            if !(row.speedup_vs_1t.is_finite() && row.speedup_vs_1t > 0.0) {
+                return Err(at("speedup_vs_1t must be finite and positive"));
+            }
+            let graph_stage = row.stage == "graph_build" || row.stage == "pagerank";
+            if graph_stage && row.graph_nodes == 0 {
+                return Err(at("graph stages must record node counts"));
+            }
+            if graph_stage != (row.vms == 0) {
+                return Err(at("vms must be 0 exactly for graph/PageRank stages"));
+            }
+        }
+        for stage in STAGES {
+            if !self.rows.iter().any(|r| r.stage == stage) {
+                return Err(format!("stage {stage:?} missing from report"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to pretty JSON and write to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Reports serialization or filesystem failures as a message.
+    pub fn write(&self, path: &std::path::Path) -> Result<(), String> {
+        let json =
+            serde_json::to_vec_pretty(self).map_err(|e| format!("cannot serialize report: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+
+    /// Load a report from `path` and [`Self::validate`] it.
+    ///
+    /// # Errors
+    ///
+    /// Reports filesystem, JSON or validation failures as a message.
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let report: Self = serde_json::from_slice(&bytes)
+            .map_err(|e| format!("{} is not a perf report: {e}", path.display()))?;
+        report.validate()?;
+        Ok(report)
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+fn summarize(mut samples_ms: Vec<f64>) -> (f64, f64) {
+    samples_ms.sort_by(f64::total_cmp);
+    (percentile(&samples_ms, 0.5), percentile(&samples_ms, 0.95))
+}
+
+/// The m3 profile space + quantized VM demands the graph stages measure
+/// (the larger of the two EC2 PM types in Table I).
+fn m3_inputs(quantizer: &Quantizer) -> (ProfileSpace, Vec<ProfileVm>) {
+    let pm = catalog::pm_m3();
+    let space = ProfileSpace::from_quantized_pm(&quantizer.quantize_pm(&pm));
+    let vms = catalog::ec2_vm_types()
+        .iter()
+        .filter_map(|v| space.vm_demand(&quantizer.quantize_vm(v, &pm)))
+        .collect();
+    (space, vms)
+}
+
+fn build_book(quantizer: Quantizer, config: &PageRankConfig) -> Result<ScoreBook, String> {
+    ScoreBook::build(
+        quantizer,
+        &catalog::ec2_pm_types(),
+        &catalog::ec2_vm_types(),
+        config,
+        GraphLimits::default(),
+    )
+    .map_err(|e| format!("score book build failed: {e}"))
+}
+
+/// Deterministic placement batch: the EC2 catalog VM types cycled
+/// round-robin, rotated by `seed` so different seeds start the cycle at
+/// different types. No RNG: the batch depends only on `(n, seed)`.
+fn request_batch(n: usize, seed: u64) -> Vec<VmSpec> {
+    let types = catalog::ec2_vm_types();
+    let offset = (seed % types.len() as u64) as usize;
+    (0..n)
+        .map(|i| types[(i + offset) % types.len()].clone())
+        .collect()
+}
+
+fn measure<R>(repeats: usize, mut run: impl FnMut() -> (R, f64)) -> (R, f64, f64) {
+    let mut samples = Vec::with_capacity(repeats);
+    let (mut last, first_ms) = run();
+    samples.push(first_ms);
+    for _ in 1..repeats {
+        let (value, ms) = run();
+        samples.push(ms);
+        last = value;
+    }
+    let (median, p95) = summarize(samples);
+    (last, median, p95)
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Run the sweep described by `args` and assemble the report (without
+/// writing it). Progress lines go to stderr.
+///
+/// # Errors
+///
+/// Fails if the EC2 catalog graphs cannot be built or a placement run
+/// rejects a VM — both indicate a bug, not a tuning problem.
+pub fn run(args: &PerfArgs) -> Result<PerfReport, String> {
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let baseline_threads = *args.threads.first().ok_or("--threads must be non-empty")?;
+    let mut rows: Vec<StageRow> = Vec::new();
+    let mut push = |stage: &str,
+                    vms: usize,
+                    threads: usize,
+                    median_ms: f64,
+                    p95_ms: f64,
+                    baseline_ms: f64,
+                    nodes: usize,
+                    edges: usize| {
+        let speedup = if median_ms > 0.0 {
+            baseline_ms / median_ms
+        } else {
+            1.0
+        };
+        eprintln!(
+            "[bench] {stage:<11} vms={vms:<5} threads={threads} \
+             median={median_ms:9.2}ms p95={p95_ms:9.2}ms speedup={speedup:5.2}x"
+        );
+        rows.push(StageRow {
+            stage: stage.to_string(),
+            vms,
+            threads,
+            median_ms,
+            p95_ms,
+            speedup_vs_1t: speedup,
+            graph_nodes: nodes,
+            graph_edges: edges,
+        });
+    };
+
+    let (space, vm_types) = m3_inputs(&args.quantizer);
+
+    // Stage 1: profile-graph construction (m3 space, EC2 VM set).
+    let mut baseline_ms = 0.0;
+    let mut reference_graph: Option<ProfileGraph> = None;
+    for &threads in &args.threads {
+        let pool = Pool::new(threads);
+        let (graph, median, p95) = measure(args.repeats, || {
+            let (built, t) = Span::timed("bench.graph_build", || {
+                ProfileGraph::build_with_pool(
+                    space.clone(),
+                    vm_types.clone(),
+                    GraphLimits::default(),
+                    pool,
+                )
+            });
+            (built, ms(t))
+        });
+        let graph = graph.map_err(|e| format!("graph build failed: {e}"))?;
+        if threads == baseline_threads {
+            baseline_ms = median;
+        }
+        push(
+            "graph_build",
+            0,
+            threads,
+            median,
+            p95,
+            baseline_ms,
+            graph.node_count(),
+            graph.edge_count(),
+        );
+        reference_graph.get_or_insert(graph);
+    }
+    let graph = reference_graph.ok_or("no thread counts to sweep")?;
+
+    // Stage 2: PageRank convergence on that graph.
+    let config = PageRankConfig::default();
+    baseline_ms = 0.0;
+    for &threads in &args.threads {
+        let pool = Pool::new(threads);
+        let (result, median, p95) = measure(args.repeats, || {
+            let (pr, t) = Span::timed("bench.pagerank", || {
+                pagerank_with_pool(&graph, &config, pool)
+            });
+            (pr, ms(t))
+        });
+        if !result.converged {
+            return Err(format!(
+                "PageRank did not converge in {} iterations",
+                result.iterations
+            ));
+        }
+        if threads == baseline_threads {
+            baseline_ms = median;
+        }
+        push(
+            "pagerank",
+            0,
+            threads,
+            median,
+            p95,
+            baseline_ms,
+            graph.node_count(),
+            graph.edge_count(),
+        );
+    }
+
+    // Shared score book for the placement-only stage (built once; the
+    // determinism contract makes the building pool irrelevant to results).
+    eprintln!("[bench] building shared score book…");
+    let book = std::sync::Arc::new(build_book(args.quantizer, &config)?);
+    let book_nodes: usize = book.tables().map(|(_, t)| t.graph().node_count()).sum();
+    let book_edges: usize = book.tables().map(|(_, t)| t.graph().edge_count()).sum();
+
+    for &n in &args.vms {
+        let requests = request_batch(n, args.seed);
+
+        // Stage 3: Algorithm 2 over a prebuilt book. Placement itself is
+        // sequential, so this doubles as a determinism check: the PM count
+        // must match across every thread count.
+        baseline_ms = 0.0;
+        let mut reference_pms: Option<usize> = None;
+        for &threads in &args.threads {
+            prvm_par::set_global_threads(threads);
+            let (pms_used, median, p95) = measure(args.repeats, || {
+                let mut cluster = Cluster::homogeneous(catalog::pm_m3(), n);
+                let mut placer = PageRankVmPlacer::new(book.clone());
+                let (result, t) = Span::timed("bench.placement", || {
+                    place_batch(&mut placer, &mut cluster, requests.clone())
+                });
+                (result.map(|_| cluster.active_pm_count()), ms(t))
+            });
+            let pms_used = pms_used.map_err(|e| format!("placement of {n} VMs failed: {e:?}"))?;
+            match reference_pms {
+                None => reference_pms = Some(pms_used),
+                Some(expected) if expected != pms_used => {
+                    return Err(format!(
+                        "determinism violation: {n} VMs used {pms_used} PMs at {threads} \
+                         threads but {expected} at {baseline_threads}"
+                    ));
+                }
+                Some(_) => {}
+            }
+            if threads == baseline_threads {
+                baseline_ms = median;
+            }
+            push(
+                "placement",
+                n,
+                threads,
+                median,
+                p95,
+                baseline_ms,
+                book_nodes,
+                book_edges,
+            );
+        }
+
+        // Stage 4: cold start — score book (graph + PageRank + BPRU, the
+        // parallel part) plus the full placement batch.
+        baseline_ms = 0.0;
+        for &threads in &args.threads {
+            prvm_par::set_global_threads(threads);
+            let (outcome, median, p95) = measure(args.repeats, || {
+                let (result, t) = Span::timed("bench.end_to_end", || -> Result<usize, String> {
+                    let book = std::sync::Arc::new(build_book(args.quantizer, &config)?);
+                    let mut cluster = Cluster::homogeneous(catalog::pm_m3(), n);
+                    let mut placer = PageRankVmPlacer::new(book);
+                    place_batch(&mut placer, &mut cluster, requests.clone())
+                        .map_err(|e| format!("placement rejected a VM: {e:?}"))?;
+                    Ok(cluster.active_pm_count())
+                });
+                (result, ms(t))
+            });
+            outcome.map_err(|e| format!("end-to-end run of {n} VMs failed: {e}"))?;
+            if threads == baseline_threads {
+                baseline_ms = median;
+            }
+            push(
+                "end_to_end",
+                n,
+                threads,
+                median,
+                p95,
+                baseline_ms,
+                book_nodes,
+                book_edges,
+            );
+        }
+    }
+    prvm_par::set_global_threads(0);
+
+    Ok(PerfReport {
+        schema: PERF_SCHEMA.to_string(),
+        seed: args.seed,
+        repeats: args.repeats,
+        host_threads,
+        thread_counts: args.threads.clone(),
+        rows,
+    })
+}
+
+/// Full CLI entry: `--check` mode or measure + validate + write.
+///
+/// # Errors
+///
+/// Propagates measurement, validation and I/O failures as messages.
+pub fn main_with(args: &PerfArgs) -> Result<(), String> {
+    if let Some(path) = &args.check {
+        let report = PerfReport::load(path)?;
+        println!(
+            "{}: valid {} report ({} rows, seed {}, {} repeats)",
+            path.display(),
+            report.schema,
+            report.rows.len(),
+            report.seed,
+            report.repeats
+        );
+        return Ok(());
+    }
+    let report = run(args)?;
+    report.validate()?;
+    report.write(&args.out)?;
+    println!(
+        "wrote {} ({} rows; host has {} hardware thread(s))",
+        args.out.display(),
+        report.rows.len(),
+        report.host_threads
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> PerfReport {
+        let mk = |stage: &str, vms: usize, nodes: usize| StageRow {
+            stage: stage.to_string(),
+            vms,
+            threads: 1,
+            median_ms: 2.0,
+            p95_ms: 3.0,
+            speedup_vs_1t: 1.0,
+            graph_nodes: nodes,
+            graph_edges: nodes * 2,
+        };
+        PerfReport {
+            schema: PERF_SCHEMA.to_string(),
+            seed: 42,
+            repeats: 1,
+            host_threads: 1,
+            thread_counts: vec![1],
+            rows: vec![
+                mk("graph_build", 0, 10),
+                mk("pagerank", 0, 10),
+                mk("placement", 5, 10),
+                mk("end_to_end", 5, 10),
+            ],
+        }
+    }
+
+    #[test]
+    fn args_defaults_and_flags() {
+        let d = PerfArgs::try_parse(std::iter::empty()).unwrap();
+        assert_eq!(d, PerfArgs::default());
+        let a = PerfArgs::try_parse(
+            [
+                "--vms",
+                "200",
+                "--threads",
+                "1,2",
+                "--repeats",
+                "2",
+                "--seed",
+                "7",
+                "--out",
+                "x.json",
+            ]
+            .into_iter()
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(a.vms, vec![200]);
+        assert_eq!(a.threads, vec![1, 2]);
+        assert_eq!(a.repeats, 2);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.out, PathBuf::from("x.json"));
+    }
+
+    #[test]
+    fn args_reject_malformed() {
+        assert!(PerfArgs::try_parse(["--bogus".to_string()]).is_err());
+        assert!(PerfArgs::try_parse(["--vms".to_string()]).is_err());
+        assert!(PerfArgs::try_parse(["--vms".to_string(), "0".to_string()]).is_err());
+        assert!(PerfArgs::try_parse(["--threads".to_string(), "1,x".to_string()]).is_err());
+        assert!(PerfArgs::try_parse(["--repeats".to_string(), "0".to_string()]).is_err());
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_and_rejects_corruption() {
+        let good = tiny_report();
+        good.validate().unwrap();
+        let mut bad = good.clone();
+        bad.schema = "other/v9".into();
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.rows[0].p95_ms = 1.0; // below median
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.rows[0].speedup_vs_1t = f64::NAN;
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.rows[2].vms = 0; // placement must carry a VM count
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.rows.remove(3); // a stage went missing
+        assert!(bad.validate().is_err());
+        let mut bad = good;
+        bad.rows[0].threads = 8; // not in thread_counts
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = tiny_report();
+        let json = serde_json::to_vec_pretty(&report).unwrap();
+        let back: PerfReport = serde_json::from_slice(&json).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.rows.len(), report.rows.len());
+        assert_eq!(back.thread_counts, report.thread_counts);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let (median, p95) = summarize(vec![3.0, 1.0, 2.0]);
+        assert_eq!(median, 2.0);
+        assert_eq!(p95, 3.0);
+        let (median, p95) = summarize(vec![5.0]);
+        assert_eq!(median, 5.0);
+        assert_eq!(p95, 5.0);
+    }
+
+    #[test]
+    fn request_batch_is_deterministic_and_seed_rotated() {
+        let a = request_batch(10, 42);
+        let b = request_batch(10, 42);
+        assert_eq!(a, b);
+        let c = request_batch(10, 43);
+        assert_ne!(a, c, "different seeds rotate the type cycle");
+        assert_eq!(a.len(), 10);
+    }
+
+    /// Smoke-scale end-to-end run: tiny VM count, 1 thread, 1 repeat.
+    /// Keeps the full measurement path (including the determinism check
+    /// between thread counts) exercised by `cargo test`.
+    #[test]
+    fn run_produces_valid_report_at_smoke_scale() {
+        let dir = std::env::temp_dir().join("prvm-bench-perf-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_PRVM.json");
+        let args = PerfArgs {
+            vms: vec![20],
+            threads: vec![1, 2],
+            repeats: 1,
+            out: out.clone(),
+            quantizer: Quantizer {
+                core_slots: 2,
+                mem_levels: 4,
+                disk_levels: 2,
+            },
+            ..PerfArgs::default()
+        };
+        main_with(&args).unwrap();
+        let report = PerfReport::load(&out).unwrap();
+        assert_eq!(report.thread_counts, vec![1, 2]);
+        // 2 graph rows + 2 pagerank rows + 2 placement + 2 end-to-end.
+        assert_eq!(report.rows.len(), 8);
+        main_with(&PerfArgs {
+            check: Some(out),
+            ..PerfArgs::default()
+        })
+        .unwrap();
+    }
+}

@@ -44,6 +44,17 @@ commands:
             sim run (capacity, anti-collocation after every step); exits
             non-zero on any violation. --self-test injects deliberate
             violations to prove the checker fires
+  bench     [--vms a,b,c] [--threads a,b,c] [--repeats N] [--seed N]
+            [--out FILE] [--check FILE]
+            perf sweep: time graph build, PageRank convergence and
+            end-to-end placement at every VM count x worker count, and
+            write BENCH_PRVM.json (median/p95 ms, speedup vs the first
+            worker count). --check validates an existing report instead
+
+parallelism (place, simulate, testbed, chaos):
+  --threads N             worker threads for graph build, PageRank and
+                          sim repeats (default: all hardware threads);
+                          results are bit-identical at any setting
 
 observability (place, simulate, testbed, chaos):
   --log off|pretty|json   stream events to stderr (default off)
@@ -136,6 +147,22 @@ fn parse<T: std::str::FromStr>(
     }
 }
 
+/// Apply `--threads N` to the global worker pool (0 or absent = one
+/// worker per hardware thread). The deterministic pool contract
+/// (DESIGN.md §10) means this only changes wall-clock, never results.
+fn threads_setup(flags: &[(String, Option<String>)]) -> Result<(), String> {
+    if let Some(v) = value_of(flags, "threads")? {
+        let n: usize = v
+            .parse()
+            .map_err(|_| format!("bad value for --threads: {v}"))?;
+        if n == 0 {
+            return Err("--threads must be positive".into());
+        }
+        prvm_par::set_global_threads(n);
+    }
+    Ok(())
+}
+
 fn algo(flags: &[(String, Option<String>)]) -> Result<Algorithm, String> {
     Ok(match value_of(flags, "algo")?.unwrap_or("pagerankvm") {
         "pagerankvm" => Algorithm::PageRankVm,
@@ -224,13 +251,17 @@ pub fn rank(args: &[String]) -> Result<(), String> {
 /// `pagerankvm place`.
 pub fn place(args: &[String]) -> Result<(), String> {
     let f = flags(args)?;
-    known(&f, &["vms", "algo", "seed", "log", "events", "metrics"])?;
+    known(
+        &f,
+        &["vms", "algo", "seed", "threads", "log", "events", "metrics"],
+    )?;
     let n: usize = parse(&f, "vms", 100)?;
     let seed: u64 = parse(&f, "seed", 42)?;
     let algorithm = algo(&f)?;
     if n == 0 {
         return Err("--vms must be positive".into());
     }
+    threads_setup(&f)?;
     let metrics = obs_setup(&f)?;
     let run_span = Span::enter("place");
 
@@ -275,13 +306,14 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
     known(
         &f,
         &[
-            "vms", "algo", "seed", "hours", "csv", "log", "events", "metrics",
+            "vms", "algo", "seed", "hours", "csv", "threads", "log", "events", "metrics",
         ],
     )?;
     let n: usize = parse(&f, "vms", 100)?;
     let seed: u64 = parse(&f, "seed", 42)?;
     let hours: u64 = parse(&f, "hours", 24)?;
     let algorithm = algo(&f)?;
+    threads_setup(&f)?;
     let metrics = obs_setup(&f)?;
     let run_span = Span::enter("simulate");
 
@@ -326,13 +358,14 @@ pub fn testbed(args: &[String]) -> Result<(), String> {
     known(
         &f,
         &[
-            "jobs", "algo", "seed", "minutes", "log", "events", "metrics",
+            "jobs", "algo", "seed", "minutes", "threads", "log", "events", "metrics",
         ],
     )?;
     let jobs: usize = parse(&f, "jobs", 150)?;
     let seed: u64 = parse(&f, "seed", 42)?;
     let minutes: u64 = parse(&f, "minutes", 240)?;
     let algorithm = algo(&f)?;
+    threads_setup(&f)?;
     let metrics = obs_setup(&f)?;
     let run_span = Span::enter("testbed");
 
@@ -436,13 +469,19 @@ pub fn chaos_matrix(
 /// `pagerankvm chaos`.
 pub fn chaos(args: &[String]) -> Result<(), String> {
     let f = flags(args)?;
-    known(&f, &["vms", "seed", "scans", "log", "events", "metrics"])?;
+    known(
+        &f,
+        &[
+            "vms", "seed", "scans", "threads", "log", "events", "metrics",
+        ],
+    )?;
     let n: usize = parse(&f, "vms", 60)?;
     let seed: u64 = parse(&f, "seed", 42)?;
     let scans: usize = parse(&f, "scans", 48)?;
     if n == 0 || scans == 0 {
         return Err("--vms and --scans must be positive".into());
     }
+    threads_setup(&f)?;
     let metrics = obs_setup(&f)?;
     let run_span = Span::enter("chaos");
 
@@ -560,6 +599,15 @@ fn audit_self_test() -> Result<(), String> {
             report.violations.len()
         ))
     }
+}
+
+/// `pagerankvm bench`: the perf sweep behind `BENCH_PRVM.json`. The
+/// flag grammar matches [`prvm_bench::perf::PerfArgs`] directly, so the
+/// subcommand and the standalone `perf` binary accept identical
+/// invocations.
+pub fn bench(args: &[String]) -> Result<(), String> {
+    let perf_args = prvm_bench::perf::PerfArgs::try_parse(args.iter().cloned())?;
+    prvm_bench::perf::main_with(&perf_args)
 }
 
 /// `pagerankvm report FILE.jsonl`.

@@ -8,10 +8,12 @@
 //! pagerankvm chaos [--vms N] [--seed N] [--scans N]
 //! pagerankvm report FILE.jsonl
 //! pagerankvm audit [--vms N] [--algo …] [--seed N] [--hours H] [--self-test]
+//! pagerankvm bench [--vms a,b,c] [--threads a,b,c] [--repeats N] [--out FILE]
 //! ```
 //!
-//! `place`, `simulate` and `testbed` also take `--log off|pretty|json`,
-//! `--events FILE.jsonl` and `--metrics FILE.json` (see `--help`).
+//! `place`, `simulate` and `testbed` also take `--threads N`,
+//! `--log off|pretty|json`, `--events FILE.jsonl` and
+//! `--metrics FILE.json` (see `--help`).
 
 mod commands;
 
@@ -31,6 +33,7 @@ fn main() -> ExitCode {
         "chaos" => commands::chaos(rest),
         "report" => commands::report(rest),
         "audit" => commands::audit(rest),
+        "bench" => commands::bench(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -10,7 +10,7 @@ use prvm_model::units::convert;
 
 /// Exact number of distinct placement *sequences* from each node to the
 /// best profile — the quantity the paper's §V-A quality argument counts
-/// ("there are two ways for [3,3,3,3] to develop to the best profile").
+/// ("there are two ways for `[3,3,3,3]` to develop to the best profile").
 ///
 /// Counts paths in the profile graph (each edge = hosting one VM giving a
 /// distinct resulting profile), saturating at `u64::MAX`. Nodes that

@@ -14,6 +14,7 @@
 use crate::profile::{Profile, ProfileSpace, ProfileVm};
 use prvm_model::units::convert;
 use prvm_obs::Span;
+use prvm_par::Pool;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -111,6 +112,23 @@ impl ProfileGraph {
         vm_types: Vec<ProfileVm>,
         limits: GraphLimits,
     ) -> Result<Self, GraphError> {
+        Self::build_full_with_pool(space, vm_types, limits, Pool::global())
+    }
+
+    /// [`Self::build_full`] on an explicit worker [`Pool`]. The result
+    /// is bit-for-bit identical at any pool width (DESIGN.md §10):
+    /// successor sets are computed in parallel per node and merged in
+    /// node-index order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::build`].
+    pub fn build_full_with_pool(
+        space: ProfileSpace,
+        vm_types: Vec<ProfileVm>,
+        limits: GraphLimits,
+        pool: Pool,
+    ) -> Result<Self, GraphError> {
         let _span = Span::enter("graph_build");
         let empty = space.empty_profile();
         let usable: Vec<ProfileVm> = vm_types
@@ -177,11 +195,14 @@ impl ProfileGraph {
             index.insert(p.clone(), nid(i));
         }
 
+        // Every node is known up front, so successor enumeration — the
+        // hot `space.place` combinatorics — is embarrassingly parallel;
+        // the merge below stitches the per-node buffers back together
+        // in node-index order, so the CSR is identical at any width.
         let mut succ: Vec<NodeId> = Vec::new();
         let mut succ_off: Vec<usize> = vec![0];
-        let mut buf: Vec<NodeId> = Vec::new();
-        for node in &nodes {
-            buf.clear();
+        let buffers: Vec<Vec<NodeId>> = pool.map(&nodes, |node| {
+            let mut buf: Vec<NodeId> = Vec::new();
             for vm in &usable {
                 for out in space.place(node, vm) {
                     // Every canonical profile was enumerated above and
@@ -194,7 +215,10 @@ impl ProfileGraph {
             }
             buf.sort_unstable();
             buf.dedup();
-            succ.extend_from_slice(&buf);
+            buf
+        });
+        for buf in &buffers {
+            succ.extend_from_slice(buf);
             succ_off.push(succ.len());
         }
 
@@ -221,7 +245,29 @@ impl ProfileGraph {
     /// Build the graph by BFS from the empty profile.
     ///
     /// VM types that cannot fit even an empty PM are ignored (they would
-    /// contribute no edges).
+    /// contribute no edges). Expansion runs on the global worker
+    /// [`Pool`]; see [`Self::build_with_pool`] for the determinism
+    /// contract.
+    ///
+    /// ```
+    /// use pagerankvm::{GraphLimits, ProfileGraph, ProfileSpace, ProfileVm};
+    ///
+    /// // The paper's running example: a [4,4,4,4] PM hosting VM shapes
+    /// // [1,1] and [1,1,1,1].
+    /// let graph = ProfileGraph::build(
+    ///     ProfileSpace::uniform(4, 4),
+    ///     vec![
+    ///         ProfileVm::from_demands("[1,1]", vec![vec![1, 1]]),
+    ///         ProfileVm::from_demands("[1,1,1,1]", vec![vec![1, 1, 1, 1]]),
+    ///     ],
+    ///     GraphLimits::default(),
+    /// )?;
+    /// // Node 0 is the empty profile; the fully-packed best profile is
+    /// // reachable and hosts nothing more.
+    /// let best = graph.node(&graph.space().best_profile()).unwrap();
+    /// assert!(graph.is_endpoint(best));
+    /// # Ok::<(), pagerankvm::GraphError>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -231,6 +277,28 @@ impl ProfileGraph {
         space: ProfileSpace,
         vm_types: Vec<ProfileVm>,
         limits: GraphLimits,
+    ) -> Result<Self, GraphError> {
+        Self::build_with_pool(space, vm_types, limits, Pool::global())
+    }
+
+    /// [`Self::build`] on an explicit worker [`Pool`].
+    ///
+    /// The BFS is level-synchronous: each frontier's successor profiles
+    /// are enumerated in parallel (the `place` combinatorics dominate
+    /// the cost), then merged **sequentially in frontier order**, which
+    /// mints node ids in exactly the order the single-threaded queue
+    /// BFS would — so the resulting graph (node numbering, CSR layout,
+    /// everything) is bit-for-bit identical at any pool width
+    /// (DESIGN.md §10).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::build`].
+    pub fn build_with_pool(
+        space: ProfileSpace,
+        vm_types: Vec<ProfileVm>,
+        limits: GraphLimits,
+        pool: Pool,
     ) -> Result<Self, GraphError> {
         let _span = Span::enter("graph_build");
         let empty = space.empty_profile();
@@ -248,16 +316,32 @@ impl ProfileGraph {
         let mut succ: Vec<NodeId> = Vec::new();
         let mut succ_off: Vec<usize> = vec![0];
 
-        // BFS frontier is implicit: nodes are processed in insertion order,
-        // and every edge target has total usage greater than its source, so
-        // each node is fully expanded exactly once.
-        let mut cursor = 0usize;
+        // Every edge strictly increases total usage, so nodes discovered
+        // while merging frontier node `j` sort after everything
+        // discovered from frontier nodes `< j`: processing frontiers in
+        // insertion order visits the same nodes in the same order as a
+        // plain FIFO queue, and each node is fully expanded exactly once.
         let mut buf: Vec<NodeId> = Vec::new();
         let mut dedup_hits = 0u64;
-        while let Some(node) = nodes.get(cursor).cloned() {
-            buf.clear();
-            for vm in &usable {
-                for out in space.place(&node, vm) {
+        let mut level_start = 0usize;
+        while level_start < nodes.len() {
+            // Expand the whole frontier in parallel. The borrow of
+            // `nodes` ends with the map; discovered profiles are merged
+            // below, where `nodes` is grown.
+            let expansions: Vec<Vec<Profile>> = {
+                let (_, frontier) = nodes.split_at(level_start);
+                pool.map(frontier, |node| {
+                    let mut outs: Vec<Profile> = Vec::new();
+                    for vm in &usable {
+                        outs.extend(space.place(node, vm));
+                    }
+                    outs
+                })
+            };
+            level_start = nodes.len();
+            for outs in expansions {
+                buf.clear();
+                for out in outs {
                     let id = match index.get(&out) {
                         Some(&id) => {
                             dedup_hits += 1;
@@ -279,12 +363,11 @@ impl ProfileGraph {
                     };
                     buf.push(id);
                 }
+                buf.sort_unstable();
+                buf.dedup();
+                succ.extend_from_slice(&buf);
+                succ_off.push(succ.len());
             }
-            buf.sort_unstable();
-            buf.dedup();
-            succ.extend_from_slice(&buf);
-            succ_off.push(succ.len());
-            cursor += 1;
         }
 
         let util = nodes.iter().map(|p| space.utilization(p)).collect();

@@ -14,7 +14,7 @@
 //!    anti-collocation constraints are encoded);
 //! 2. [`graph`] — the profile graph: `A → B` iff hosting one VM turns
 //!    profile `A` into profile `B`;
-//! 3. [`pagerank`] — Algorithm 1: iterative PageRank with damping 0.85;
+//! 3. [`mod@pagerank`] — Algorithm 1: iterative PageRank with damping 0.85;
 //! 4. [`bpru`] — the Best-Possible-Resource-Utilization discount;
 //! 5. [`table`] — the Profile–PageRank score table consulted at placement
 //!    time;
@@ -65,8 +65,9 @@ pub use analysis::{paths_to_best, rank_stats, top_profiles, RankStats};
 pub use audit::{AuditReport, Invariant, Violation};
 pub use bpru::bpru as compute_bpru;
 pub use graph::{GraphError, GraphLimits, NodeId, ProfileGraph};
-pub use pagerank::{pagerank, Orientation, PageRankConfig, PageRankResult};
+pub use pagerank::{pagerank, pagerank_with_pool, Orientation, PageRankConfig, PageRankResult};
 pub use placer::{PageRankEviction, PageRankVmPlacer};
 pub use profile::{KindSpace, Profile, ProfileSpace, ProfileVm};
+pub use prvm_par::Pool;
 pub use table::{ScoreBook, ScoreTable};
 pub use two_choice::TwoChoicePlacer;

@@ -29,6 +29,11 @@
 use crate::graph::{ix, nid, ProfileGraph};
 use prvm_model::units::convert;
 use prvm_obs::{event, Registry, Span};
+use prvm_par::Pool;
+
+/// One incoming vote edge in the transposed (pseudocode-orientation)
+/// adjacency: the voting node and its precomputed out-fanout.
+type NodeIdAndFanout = (crate::graph::NodeId, f64);
 
 /// Which way votes flow along profile-graph edges. See the module docs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
@@ -83,13 +88,52 @@ pub struct PageRankResult {
     pub residuals: Vec<f64>,
 }
 
-/// Run Algorithm 1 (lines 2–18) over `graph`.
+/// Run Algorithm 1 (lines 2–18) over `graph`, on the global worker
+/// [`Pool`].
+///
+/// ```
+/// use pagerankvm::{pagerank, GraphLimits, PageRankConfig, ProfileGraph,
+///                  ProfileSpace, ProfileVm};
+///
+/// let graph = ProfileGraph::build(
+///     ProfileSpace::uniform(4, 4),
+///     vec![ProfileVm::from_demands("[1,1]", vec![vec![1, 1]])],
+///     GraphLimits::default(),
+/// )?;
+/// let result = pagerank(&graph, &PageRankConfig::default());
+/// assert!(result.converged);
+/// // Scores are a probability distribution over profiles.
+/// assert!((result.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// # Ok::<(), pagerankvm::GraphError>(())
+/// ```
 ///
 /// # Panics
 ///
 /// Panics if `config.damping` is outside `(0, 1)` or the graph is empty.
 #[must_use]
 pub fn pagerank(graph: &ProfileGraph, config: &PageRankConfig) -> PageRankResult {
+    pagerank_with_pool(graph, config, Pool::global())
+}
+
+/// [`pagerank`] on an explicit worker [`Pool`].
+///
+/// The sparse mat-vec inside each power-iteration sweep is *gathered*
+/// per receiving node — every node's incoming votes are summed
+/// left-to-right in a fixed (ascending voter id) order by whichever
+/// worker owns that node — so residuals and score bit patterns are
+/// identical at any pool width (DESIGN.md §10). The teleport /
+/// normalisation passes are O(n) and stay sequential, preserving the
+/// historical summation order.
+///
+/// # Panics
+///
+/// Panics if `config.damping` is outside `(0, 1)` or the graph is empty.
+#[must_use]
+pub fn pagerank_with_pool(
+    graph: &ProfileGraph,
+    config: &PageRankConfig,
+    pool: Pool,
+) -> PageRankResult {
     assert!(
         config.damping > 0.0 && config.damping < 1.0,
         "damping factor must be in (0, 1)"
@@ -115,9 +159,26 @@ pub fn pagerank(graph: &ProfileGraph, config: &PageRankConfig) -> PageRankResult
         v
     };
 
+    // For the pseudocode orientation, gather needs the transposed
+    // adjacency: each node's predecessors, ascending — the same order
+    // the historical sequential scatter added their contributions in.
+    let preds: Vec<Vec<NodeIdAndFanout>> = if config.orientation == Orientation::TowardFuller {
+        let mut p: Vec<Vec<NodeIdAndFanout>> = vec![Vec::new(); n];
+        for id in graph.node_ids() {
+            let fanout = convert::usize_to_f64(graph.successors(id).len());
+            for &s in graph.successors(id) {
+                if let Some(slot) = p.get_mut(ix(s)) {
+                    slot.push((id, fanout));
+                }
+            }
+        }
+        p
+    } else {
+        Vec::new()
+    };
+
     let nf = convert::usize_to_f64(n);
     let mut pr = vec![1.0 / nf; n];
-    let mut aux = vec![0.0; n];
     let mut iterations = 0;
     let mut converged = false;
     let mut residuals = Vec::new();
@@ -125,39 +186,32 @@ pub fn pagerank(graph: &ProfileGraph, config: &PageRankConfig) -> PageRankResult
     while iterations < config.max_iters {
         iterations += 1;
         // Lines 7–12: propagate rank over each edge, split evenly over the
-        // voter's out-links.
-        match config.orientation {
-            Orientation::TowardFuller => {
-                for (i, &rank) in pr.iter().enumerate() {
-                    let succ = graph.successors(nid(i));
-                    if succ.is_empty() {
-                        continue;
-                    }
-                    let share = rank / convert::usize_to_f64(succ.len());
-                    for &s in succ {
-                        aux[ix(s)] += share;
-                    }
-                }
-            }
+        // voter's out-links. Both orientations gather per receiver: each
+        // receiving node's sum is an independent left-to-right fold, so
+        // the parallel map is bit-identical to a sequential sweep.
+        let aux: Vec<f64> = match config.orientation {
+            Orientation::TowardFuller => pool.map(&preds, |voters| {
+                voters
+                    .iter()
+                    .fold(0.0f64, |acc, &(v, fanout)| acc + pr[ix(v)] / fanout)
+            }),
             Orientation::TowardEmptier => {
                 // Edge i -> s in the hosting graph becomes a vote s -> i;
                 // node s splits its rank over indeg[s] such votes.
-                for (i, a) in aux.iter_mut().enumerate() {
-                    let mut sum = 0.0;
-                    for &s in graph.successors(nid(i)) {
-                        sum += pr[ix(s)] / f64::from(indeg[ix(s)]);
-                    }
-                    *a += sum;
-                }
+                pool.map_index(n, |i| {
+                    graph
+                        .successors(nid(i))
+                        .iter()
+                        .fold(0.0f64, |acc, &s| acc + pr[ix(s)] / f64::from(indeg[ix(s)]))
+                })
             }
-        }
+        };
         // Lines 13–16: new scores from the teleport term plus damped votes.
         let teleport = (1.0 - config.damping) / nf;
         let mut total = 0.0;
         let mut next = vec![0.0; n];
-        for (nx, a) in next.iter_mut().zip(aux.iter_mut()) {
-            *nx = teleport + config.damping * *a;
-            *a = 0.0;
+        for (nx, &a) in next.iter_mut().zip(aux.iter()) {
+            *nx = teleport + config.damping * a;
             total += *nx;
         }
         // Line 17: normalise.

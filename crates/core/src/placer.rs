@@ -17,6 +17,38 @@ use std::sync::Arc;
 /// selects the PM (and permutation) with the maximum score. If no used PM
 /// fits, the first unused PM with sufficient resources is opened
 /// (Algorithm 2 lines 17–24).
+///
+/// # Example
+///
+/// Place one `m3.large` on an empty cluster — the placer opens exactly
+/// one PM and returns an anti-collocation-respecting assignment:
+///
+/// ```
+/// use pagerankvm::{GraphLimits, PageRankConfig, PageRankVmPlacer, ScoreBook};
+/// use prvm_model::{catalog, Cluster, PlacementAlgorithm, Quantizer};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let book = Arc::new(ScoreBook::build(
+///     Quantizer { core_slots: 2, mem_levels: 4, disk_levels: 2 },
+///     &catalog::ec2_pm_types(),
+///     &catalog::ec2_vm_types(),
+///     &PageRankConfig::default(),
+///     GraphLimits::default(),
+/// )?);
+/// let mut placer = PageRankVmPlacer::new(book);
+/// let mut cluster = Cluster::homogeneous(catalog::pm_m3(), 4);
+///
+/// let vm = catalog::vm_m3_large();
+/// let decision = placer
+///     .choose(&cluster, &vm, &|_| false)
+///     .expect("an m3 PM can host an m3.large");
+/// assert!(decision.assignment.is_anti_collocated());
+/// cluster.place(decision.pm, vm, decision.assignment)?;
+/// assert_eq!(cluster.active_pm_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct PageRankVmPlacer {
     book: Arc<ScoreBook>,

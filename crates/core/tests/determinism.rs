@@ -1,0 +1,145 @@
+//! The parallel-determinism contract (DESIGN.md §10): graph build and
+//! PageRank produce **bit-for-bit identical** results at any worker
+//! count. Scores are compared by `f64::to_bits`, not approximate
+//! equality — scheduling must never leak into results.
+
+use pagerankvm::{
+    pagerank_with_pool, GraphLimits, Orientation, PageRankConfig, Pool, ProfileGraph, ProfileSpace,
+    ProfileVm,
+};
+
+fn paper_vms() -> Vec<ProfileVm> {
+    vec![
+        ProfileVm::from_demands("[1,1]", vec![vec![1, 1]]),
+        ProfileVm::from_demands("[1,1,1,1]", vec![vec![1, 1, 1, 1]]),
+    ]
+}
+
+/// A profile space big enough that every thread count actually chunks
+/// the work (hundreds of nodes), yet quick to build in a test.
+fn space() -> ProfileSpace {
+    ProfileSpace::uniform(6, 6)
+}
+
+#[test]
+fn graph_build_is_identical_at_1_2_4_threads() {
+    let reference = ProfileGraph::build_with_pool(
+        space(),
+        paper_vms(),
+        GraphLimits::default(),
+        Pool::sequential(),
+    )
+    .expect("reference build");
+    assert!(
+        reference.node_count() > 100,
+        "space too small to exercise chunking: {} nodes",
+        reference.node_count()
+    );
+    for threads in [2usize, 4] {
+        let got = ProfileGraph::build_with_pool(
+            space(),
+            paper_vms(),
+            GraphLimits::default(),
+            Pool::new(threads),
+        )
+        .expect("parallel build");
+        assert_eq!(
+            got.node_count(),
+            reference.node_count(),
+            "threads={threads}"
+        );
+        assert_eq!(
+            got.edge_count(),
+            reference.edge_count(),
+            "threads={threads}"
+        );
+        for id in reference.node_ids() {
+            assert_eq!(
+                got.profile(id),
+                reference.profile(id),
+                "node {id} profile differs at {threads} threads"
+            );
+            assert_eq!(
+                got.successors(id),
+                reference.successors(id),
+                "node {id} successors differ at {threads} threads"
+            );
+            assert_eq!(
+                got.utilization(id).to_bits(),
+                reference.utilization(id).to_bits(),
+                "node {id} utilization bits differ at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn pagerank_bits_are_identical_at_1_2_4_threads_both_orientations() {
+    for orientation in [Orientation::TowardEmptier, Orientation::TowardFuller] {
+        let config = PageRankConfig {
+            orientation,
+            ..PageRankConfig::default()
+        };
+        let graph = ProfileGraph::build_with_pool(
+            space(),
+            paper_vms(),
+            GraphLimits::default(),
+            Pool::sequential(),
+        )
+        .expect("build");
+        let reference = pagerank_with_pool(&graph, &config, Pool::sequential());
+        assert!(reference.converged, "{orientation:?}");
+        for threads in [2usize, 4] {
+            let got = pagerank_with_pool(&graph, &config, Pool::new(threads));
+            assert_eq!(
+                got.iterations, reference.iterations,
+                "{orientation:?} iteration count differs at {threads} threads"
+            );
+            assert_eq!(got.converged, reference.converged);
+            for (i, (a, b)) in got.scores.iter().zip(reference.scores.iter()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{orientation:?} score[{i}] differs at {threads} threads: {a:e} vs {b:e}"
+                );
+            }
+            for (i, (a, b)) in got
+                .residuals
+                .iter()
+                .zip(reference.residuals.iter())
+                .enumerate()
+            {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{orientation:?} residual[{i}] differs at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_space_graph_is_identical_at_1_2_4_threads() {
+    let reference = ProfileGraph::build_full_with_pool(
+        space(),
+        paper_vms(),
+        GraphLimits::default(),
+        Pool::sequential(),
+    )
+    .expect("reference build_full");
+    for threads in [2usize, 4] {
+        let got = ProfileGraph::build_full_with_pool(
+            space(),
+            paper_vms(),
+            GraphLimits::default(),
+            Pool::new(threads),
+        )
+        .expect("parallel build_full");
+        assert_eq!(got.node_count(), reference.node_count());
+        assert_eq!(got.edge_count(), reference.edge_count());
+        for id in reference.node_ids() {
+            assert_eq!(got.successors(id), reference.successors(id), "node {id}");
+        }
+    }
+}

@@ -19,6 +19,30 @@ pub struct VmId(pub u64);
 
 /// A datacenter: a fixed set of PMs, a used list (PMs hosting at least one
 /// VM, in first-use order) and an unused list.
+///
+/// # Example
+///
+/// ```
+/// use prvm_model::{catalog, Assignment, Cluster};
+///
+/// let mut cluster = Cluster::homogeneous(catalog::pm_m3(), 3);
+/// assert_eq!(cluster.len(), 3);
+/// assert_eq!(cluster.active_pm_count(), 0);
+///
+/// // m3.large: 2 vCPUs on distinct cores, one disk (Table I).
+/// let pm = cluster.unused_pms().next().expect("all PMs start unused");
+/// let vm = cluster
+///     .place(pm, catalog::vm_m3_large(), Assignment::new(vec![0, 1], vec![0]))
+///     .expect("an empty m3 PM hosts an m3.large");
+/// assert_eq!(cluster.active_pm_count(), 1);
+/// assert_eq!(cluster.locate(vm), Some(pm));
+///
+/// // Removing the VM returns the PM to the unused list, but it still
+/// // counts toward the paper's "PMs ever used" metric.
+/// cluster.remove(vm).expect("vm is resident");
+/// assert_eq!(cluster.active_pm_count(), 0);
+/// assert_eq!(cluster.ever_used_count(), 1);
+/// ```
 #[derive(Debug, Clone)]
 pub struct Cluster {
     pms: Vec<Pm>,

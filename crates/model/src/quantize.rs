@@ -127,8 +127,7 @@ impl Quantizer {
     }
 
     /// Quantize a VM type's demands relative to `pm`. Memory and disk
-    /// round up (conservative); vCPU slots round to nearest (see
-    /// [`round_units`]).
+    /// round up (conservative); vCPU slots round to nearest.
     #[must_use]
     pub fn quantize_vm(&self, vm: &VmSpec, pm: &PmSpec) -> QuantizedVm {
         let vcpu_slots = round_units(vm.vcpu_mhz.get(), pm.core_mhz.get(), self.core_slots);

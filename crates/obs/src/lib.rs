@@ -10,7 +10,7 @@
 //!   latency histograms and numeric series. Always on: recording is a
 //!   couple of relaxed atomic ops, and the [`counter!`]/[`gauge!`]
 //!   macros cache the name lookup per call site.
-//! * **Events** ([`event`]) — structured JSON-lines records with a
+//! * **Events** ([`event()`]) — structured JSON-lines records with a
 //!   pluggable sink ([`init`]): pretty or JSON on stderr, and/or a
 //!   JSONL file. Off by default; the disabled path is one atomic load.
 //!

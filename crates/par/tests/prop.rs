@@ -1,0 +1,42 @@
+//! Property tests for the determinism contract: `map`/`map_index`
+//! preserve order and length for arbitrary inputs at arbitrary widths,
+//! and `fold_chunks` over f64 is bit-identical across widths.
+
+use proptest::prelude::*;
+use prvm_par::Pool;
+
+proptest! {
+    #[test]
+    fn par_map_preserves_order_and_length(
+        items in proptest::collection::vec(0u64..1_000_000, 0..600),
+        threads in 1usize..9,
+    ) {
+        let got = Pool::new(threads).map(&items, |&x| x.wrapping_mul(2654435761).rotate_left(7));
+        let expect: Vec<u64> =
+            items.iter().map(|&x| x.wrapping_mul(2654435761).rotate_left(7)).collect();
+        prop_assert_eq!(got.len(), items.len());
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn par_map_index_is_identity_on_indices(
+        len in 0usize..700,
+        threads in 1usize..9,
+    ) {
+        let got = Pool::new(threads).map_index(len, |i| i);
+        let expect: Vec<usize> = (0..len).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn par_fold_f64_bits_match_sequential(
+        items in proptest::collection::vec(-1.0e9f64..1.0e9, 0..600),
+        threads in 2usize..9,
+    ) {
+        let seq = Pool::sequential()
+            .fold_chunks(&items, || 0.0f64, |a, &x| a + x, |a, b| a + b);
+        let par = Pool::new(threads)
+            .fold_chunks(&items, || 0.0f64, |a, &x| a + x, |a, b| a + b);
+        prop_assert_eq!(par.to_bits(), seq.to_bits());
+    }
+}

@@ -126,6 +126,12 @@ pub struct MetricSummary {
 }
 
 /// Run `algorithm` `repeats` times on fresh seeded workloads and summarise.
+///
+/// Repeats are independent (each builds its own workload, cluster and
+/// placer from its own seed), so they run in parallel on the global
+/// [`prvm_par::Pool`]; outcomes are collected in repeat order, keeping
+/// every percentile summary identical to a sequential run at any
+/// worker count (DESIGN.md §10).
 #[must_use]
 pub fn run_repeats(
     algorithm: Algorithm,
@@ -135,15 +141,13 @@ pub fn run_repeats(
     repeats: usize,
     base_seed: u64,
 ) -> MetricSummary {
-    let outcomes: Vec<SimOutcome> = (0..repeats)
-        .map(|r| {
-            let seed = base_seed.wrapping_add(r as u64);
-            let workload = Workload::generate(wl, sim.scans(), seed);
-            let cluster = build_cluster(wl);
-            let (mut placer, mut evictor) = algorithm.build(book, seed);
-            simulate(sim, cluster, &workload, placer.as_mut(), evictor.as_mut())
-        })
-        .collect();
+    let outcomes: Vec<SimOutcome> = prvm_par::Pool::global().map_index(repeats, |r| {
+        let seed = base_seed.wrapping_add(r as u64);
+        let workload = Workload::generate(wl, sim.scans(), seed);
+        let cluster = build_cluster(wl);
+        let (mut placer, mut evictor) = algorithm.build(book, seed);
+        simulate(sim, cluster, &workload, placer.as_mut(), evictor.as_mut())
+    });
 
     let collect = |f: &dyn Fn(&SimOutcome) -> f64| -> Percentiles {
         Percentiles::of(&outcomes.iter().map(f).collect::<Vec<_>>())

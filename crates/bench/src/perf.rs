@@ -40,6 +40,19 @@ pub struct PerfArgs {
     pub out: PathBuf,
     /// When set, skip measuring: load this report, validate it, exit.
     pub check: Option<PathBuf>,
+    /// When set, compare a fresh run against this baseline report and
+    /// fail (non-zero exit) if any overlapping cell's median regresses
+    /// more than [`PerfArgs::gate_threshold`]. Gate runs never write
+    /// `--out`, so the committed baseline cannot be clobbered.
+    pub gate: Option<PathBuf>,
+    /// Allowed relative regression for `--gate` (0.15 = 15%).
+    pub gate_threshold: f64,
+    /// When set, record a per-worker span timeline for the whole sweep
+    /// and write it to this path as Chrome trace-event JSON.
+    pub trace: Option<PathBuf>,
+    /// When set, skip measuring: parse this trace-event JSON file,
+    /// schema-validate it, exit. (The CI trace-smoke job's checker.)
+    pub check_trace: Option<PathBuf>,
     /// Profile-space resolution (not CLI-exposed; tests coarsen it to
     /// keep debug-build runs quick).
     pub quantizer: Quantizer,
@@ -54,6 +67,10 @@ impl Default for PerfArgs {
             seed: 42,
             out: PathBuf::from("BENCH_PRVM.json"),
             check: None,
+            gate: None,
+            gate_threshold: 0.15,
+            trace: None,
+            check_trace: None,
             quantizer: Quantizer::default(),
         }
     }
@@ -61,7 +78,8 @@ impl Default for PerfArgs {
 
 impl PerfArgs {
     /// Parse `--vms a,b,c`, `--threads a,b,c`, `--repeats N`, `--seed N`,
-    /// `--out FILE` and `--check FILE`.
+    /// `--out FILE`, `--check FILE`, `--gate FILE`,
+    /// `--gate-threshold X`, `--trace FILE` and `--check-trace FILE`.
     ///
     /// # Errors
     ///
@@ -69,7 +87,8 @@ impl PerfArgs {
     /// unparseable numbers, or empty/zero lists.
     pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
         let usage = "usage: bench [--vms a,b,c] [--threads a,b,c] [--repeats N] [--seed N] \
-                     [--out FILE] [--check FILE]";
+                     [--out FILE] [--check FILE] [--gate FILE] [--gate-threshold X] \
+                     [--trace FILE] [--check-trace FILE]";
         let mut out = Self::default();
         let mut it = args.into_iter();
         let int_list = |text: String| -> Result<Vec<usize>, String> {
@@ -109,6 +128,17 @@ impl PerfArgs {
                 }
                 "--out" => out.out = PathBuf::from(value("--out")?),
                 "--check" => out.check = Some(PathBuf::from(value("--check")?)),
+                "--gate" => out.gate = Some(PathBuf::from(value("--gate")?)),
+                "--gate-threshold" => {
+                    out.gate_threshold = value("--gate-threshold")?
+                        .parse()
+                        .map_err(|_| format!("--gate-threshold wants a number; {usage}"))?;
+                    if !(out.gate_threshold.is_finite() && out.gate_threshold > 0.0) {
+                        return Err(format!("--gate-threshold must be positive; {usage}"));
+                    }
+                }
+                "--trace" => out.trace = Some(PathBuf::from(value("--trace")?)),
+                "--check-trace" => out.check_trace = Some(PathBuf::from(value("--check-trace")?)),
                 other => return Err(format!("unknown flag {other}; {usage}")),
             }
         }
@@ -248,6 +278,75 @@ impl PerfReport {
         report.validate()?;
         Ok(report)
     }
+}
+
+/// Medians below this floor are clamped before computing gate ratios:
+/// at sub-tick durations the ratio is timer noise, not a regression.
+pub const GATE_FLOOR_MS: f64 = 0.05;
+
+/// One compared `(stage, vms, threads)` cell of a `--gate` run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GateRow {
+    /// Stage name, one of [`STAGES`].
+    pub stage: String,
+    /// VM count of the cell (0 for graph/PageRank stages).
+    pub vms: usize,
+    /// Worker count of the cell.
+    pub threads: usize,
+    /// Baseline median, milliseconds.
+    pub baseline_ms: f64,
+    /// Fresh-run median, milliseconds.
+    pub fresh_ms: f64,
+    /// `fresh / baseline` after clamping both to [`GATE_FLOOR_MS`].
+    pub ratio: f64,
+    /// True when `ratio` exceeds `1 + threshold`.
+    pub regressed: bool,
+}
+
+/// Compare a fresh report against a baseline, cell by cell. Cells are
+/// matched on `(stage, vms, threads)`; cells present in only one of
+/// the two reports are skipped (the grids may legitimately differ —
+/// CI gates on a small grid against a small-grid baseline).
+///
+/// # Errors
+///
+/// Fails when `threshold` is not positive or when the two reports
+/// share no cells at all (gating against an unrelated grid would
+/// otherwise silently pass).
+pub fn gate_compare(
+    baseline: &PerfReport,
+    fresh: &PerfReport,
+    threshold: f64,
+) -> Result<Vec<GateRow>, String> {
+    if !(threshold.is_finite() && threshold > 0.0) {
+        return Err(format!("gate threshold must be positive, got {threshold}"));
+    }
+    let mut rows = Vec::new();
+    for row in &fresh.rows {
+        let Some(base) = baseline
+            .rows
+            .iter()
+            .find(|b| b.stage == row.stage && b.vms == row.vms && b.threads == row.threads)
+        else {
+            continue;
+        };
+        let ratio = row.median_ms.max(GATE_FLOOR_MS) / base.median_ms.max(GATE_FLOOR_MS);
+        rows.push(GateRow {
+            stage: row.stage.clone(),
+            vms: row.vms,
+            threads: row.threads,
+            baseline_ms: base.median_ms,
+            fresh_ms: row.median_ms,
+            ratio,
+            regressed: ratio > 1.0 + threshold,
+        });
+    }
+    if rows.is_empty() {
+        return Err(
+            "no overlapping (stage, vms, threads) cells between baseline and fresh run".into(),
+        );
+    }
+    Ok(rows)
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample.
@@ -518,11 +617,31 @@ pub fn run(args: &PerfArgs) -> Result<PerfReport, String> {
     })
 }
 
-/// Full CLI entry: `--check` mode or measure + validate + write.
+/// [`run`], optionally bracketed by a [`prvm_obs::TraceSink`] when
+/// `--trace` asked for a Chrome trace of the sweep.
+fn run_traced(args: &PerfArgs) -> Result<PerfReport, String> {
+    let Some(trace_path) = &args.trace else {
+        return run(args);
+    };
+    let sink = prvm_obs::TraceSink::start(trace_path);
+    let report = run(args);
+    let stats = sink.finish()?;
+    eprintln!(
+        "[bench] trace: {} interval(s) across {} worker track(s) -> {}",
+        stats.intervals,
+        stats.worker_tracks,
+        trace_path.display()
+    );
+    report
+}
+
+/// Full CLI entry: `--check` / `--check-trace` validation modes, the
+/// `--gate` regression comparison, or measure + validate + write.
 ///
 /// # Errors
 ///
-/// Propagates measurement, validation and I/O failures as messages.
+/// Propagates measurement, validation, gate-regression and I/O
+/// failures as messages (the CLI turns them into a non-zero exit).
 pub fn main_with(args: &PerfArgs) -> Result<(), String> {
     if let Some(path) = &args.check {
         let report = PerfReport::load(path)?;
@@ -536,7 +655,55 @@ pub fn main_with(args: &PerfArgs) -> Result<(), String> {
         );
         return Ok(());
     }
-    let report = run(args)?;
+    if let Some(path) = &args.check_trace {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let value: serde::Value = serde_json::from_str(&text)
+            .map_err(|e| format!("{} is not JSON: {e:?}", path.display()))?;
+        let stats = prvm_obs::validate_chrome_trace(&value)
+            .map_err(|e| format!("{}: invalid trace: {e}", path.display()))?;
+        println!(
+            "{}: valid trace ({} interval(s), {} worker track(s))",
+            path.display(),
+            stats.intervals,
+            stats.worker_tracks
+        );
+        return Ok(());
+    }
+    if let Some(baseline_path) = &args.gate {
+        let baseline = PerfReport::load(baseline_path)?;
+        let fresh = run_traced(args)?;
+        fresh.validate()?;
+        let rows = gate_compare(&baseline, &fresh, args.gate_threshold)?;
+        let mut regressed = 0usize;
+        for row in &rows {
+            let verdict = if row.regressed { "REGRESSED" } else { "ok" };
+            println!(
+                "[gate] {:<11} vms={:<5} threads={} baseline={:9.2}ms fresh={:9.2}ms \
+                 ratio={:5.2} {verdict}",
+                row.stage, row.vms, row.threads, row.baseline_ms, row.fresh_ms, row.ratio
+            );
+            regressed += usize::from(row.regressed);
+        }
+        if regressed > 0 {
+            return Err(format!(
+                "perf gate failed: {regressed}/{} cell(s) regressed more than {:.0}% vs {}",
+                rows.len(),
+                args.gate_threshold * 100.0,
+                baseline_path.display()
+            ));
+        }
+        println!(
+            "perf gate passed: {} cell(s) within {:.0}% of {}",
+            rows.len(),
+            args.gate_threshold * 100.0,
+            baseline_path.display()
+        );
+        // Gate runs never write --out: the default out path is the
+        // committed baseline itself.
+        return Ok(());
+    }
+    let report = run_traced(args)?;
     report.validate()?;
     report.write(&args.out)?;
     println!(
@@ -613,6 +780,153 @@ mod tests {
         assert!(PerfArgs::try_parse(["--vms".to_string(), "0".to_string()]).is_err());
         assert!(PerfArgs::try_parse(["--threads".to_string(), "1,x".to_string()]).is_err());
         assert!(PerfArgs::try_parse(["--repeats".to_string(), "0".to_string()]).is_err());
+        assert!(PerfArgs::try_parse(["--gate".to_string()]).is_err());
+        assert!(PerfArgs::try_parse(["--gate-threshold".to_string(), "zero".to_string()]).is_err());
+        assert!(PerfArgs::try_parse(["--gate-threshold".to_string(), "0".to_string()]).is_err());
+        assert!(PerfArgs::try_parse(["--gate-threshold".to_string(), "-1".to_string()]).is_err());
+        assert!(PerfArgs::try_parse(["--trace".to_string()]).is_err());
+    }
+
+    #[test]
+    fn args_parse_gate_and_trace_flags() {
+        let a = PerfArgs::try_parse(
+            [
+                "--gate",
+                "BENCH_PRVM.json",
+                "--gate-threshold",
+                "0.25",
+                "--trace",
+                "trace.json",
+                "--check-trace",
+                "old.json",
+            ]
+            .into_iter()
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(a.gate, Some(PathBuf::from("BENCH_PRVM.json")));
+        assert!((a.gate_threshold - 0.25).abs() < 1e-12);
+        assert_eq!(a.trace, Some(PathBuf::from("trace.json")));
+        assert_eq!(a.check_trace, Some(PathBuf::from("old.json")));
+    }
+
+    /// The acceptance scenario, with synthetic baselines so no wall
+    /// clock is compared across runs: an identical baseline passes, a
+    /// baseline scaled 1000x *faster* makes every fresh cell a >15%
+    /// regression, and a 1000x *slower* baseline passes trivially.
+    #[test]
+    fn gate_flags_synthetic_regressions() {
+        let fresh = tiny_report();
+        let identical = fresh.clone();
+        let rows = gate_compare(&identical, &fresh, 0.15).unwrap();
+        assert_eq!(rows.len(), fresh.rows.len());
+        assert!(rows.iter().all(|r| !r.regressed), "identical must pass");
+        assert!(rows.iter().all(|r| (r.ratio - 1.0).abs() < 1e-9));
+
+        let mut fast_baseline = fresh.clone();
+        for row in &mut fast_baseline.rows {
+            row.median_ms /= 1000.0;
+            row.p95_ms /= 1000.0;
+        }
+        let rows = gate_compare(&fast_baseline, &fresh, 0.15).unwrap();
+        assert!(
+            rows.iter().all(|r| r.regressed),
+            "a 1000x slower fresh run must trip every cell"
+        );
+
+        let mut slow_baseline = fresh.clone();
+        for row in &mut slow_baseline.rows {
+            row.median_ms *= 1000.0;
+            row.p95_ms *= 1000.0;
+        }
+        let rows = gate_compare(&slow_baseline, &fresh, 0.15).unwrap();
+        assert!(rows.iter().all(|r| !r.regressed));
+    }
+
+    #[test]
+    fn gate_needs_overlapping_cells_and_positive_threshold() {
+        let fresh = tiny_report();
+        let mut disjoint = fresh.clone();
+        for row in &mut disjoint.rows {
+            row.threads = 9;
+        }
+        assert!(gate_compare(&disjoint, &fresh, 0.15).is_err());
+        assert!(gate_compare(&fresh, &fresh, 0.0).is_err());
+        assert!(gate_compare(&fresh, &fresh, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn gate_floor_absorbs_sub_tick_noise() {
+        // 0.001ms -> 0.004ms is 4x, but both are below the floor: not
+        // a regression, just timer granularity.
+        let mut fresh = tiny_report();
+        let mut baseline = fresh.clone();
+        for row in &mut baseline.rows {
+            row.median_ms = 0.001;
+        }
+        for row in &mut fresh.rows {
+            row.median_ms = 0.004;
+        }
+        let rows = gate_compare(&baseline, &fresh, 0.15).unwrap();
+        assert!(rows.iter().all(|r| !r.regressed));
+    }
+
+    /// End-to-end `--gate` through `main_with`: a synthetic slow
+    /// baseline written to disk makes the gate run exit non-zero, and
+    /// a generous baseline passes — without ever comparing two real
+    /// timings against each other.
+    #[test]
+    fn main_with_gate_exits_nonzero_on_synthetic_slow_baseline() {
+        let dir = std::env::temp_dir().join("prvm-bench-gate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let coarse = Quantizer {
+            core_slots: 2,
+            mem_levels: 4,
+            disk_levels: 2,
+        };
+        let smoke = PerfArgs {
+            vms: vec![20],
+            threads: vec![1],
+            repeats: 1,
+            quantizer: coarse,
+            ..PerfArgs::default()
+        };
+        // One real smoke run to learn the grid's actual medians.
+        let measured = run(&smoke).unwrap();
+
+        // Baseline 1000x faster than reality: gating must fail.
+        let mut fast = measured.clone();
+        for row in &mut fast.rows {
+            row.median_ms = (row.median_ms / 1000.0).max(1e-6);
+            row.p95_ms = row.p95_ms.max(row.median_ms);
+        }
+        let fast_path = dir.join("baseline-fast.json");
+        fast.write(&fast_path).unwrap();
+        let err = main_with(&PerfArgs {
+            gate: Some(fast_path),
+            out: dir.join("should-not-exist.json"),
+            ..smoke.clone()
+        })
+        .expect_err("gate must fail against a 1000x faster baseline");
+        assert!(err.contains("perf gate failed"), "got: {err}");
+        assert!(
+            !dir.join("should-not-exist.json").exists(),
+            "gate runs must not write --out"
+        );
+
+        // Baseline 1000x slower: gating must pass.
+        let mut slow = measured;
+        for row in &mut slow.rows {
+            row.median_ms *= 1000.0;
+            row.p95_ms *= 1000.0;
+        }
+        let slow_path = dir.join("baseline-slow.json");
+        slow.write(&slow_path).unwrap();
+        main_with(&PerfArgs {
+            gate: Some(slow_path),
+            ..smoke
+        })
+        .expect("gate must pass against a 1000x slower baseline");
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Integration test for `pagerankvm bench --trace`: a real (smoke
+//! scale) sweep at 1 and 2 workers must emit a schema-valid Chrome
+//! trace containing at least two distinct worker tracks — the
+//! acceptance bar for the profiling layer (ISSUE 6).
+
+use prvm_bench::perf::{main_with, PerfArgs};
+use prvm_model::Quantizer;
+use prvm_obs::validate_chrome_trace;
+use serde::Value;
+
+#[test]
+fn bench_trace_has_two_worker_tracks_at_two_threads() {
+    let dir = std::env::temp_dir().join("prvm-bench-trace-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("trace.json");
+    let out = dir.join("bench.json");
+    let args = PerfArgs {
+        vms: vec![20],
+        threads: vec![1, 2],
+        repeats: 1,
+        out: out.clone(),
+        trace: Some(trace_path.clone()),
+        quantizer: Quantizer {
+            core_slots: 2,
+            mem_levels: 4,
+            disk_levels: 2,
+        },
+        ..PerfArgs::default()
+    };
+    main_with(&args).expect("traced smoke sweep");
+
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let parsed: Value = serde_json::from_str(&text).expect("trace parses as JSON");
+    let stats = validate_chrome_trace(&parsed).expect("trace passes schema validation");
+    assert!(
+        stats.worker_tracks >= 2,
+        "2-thread sweep recorded {} worker track(s)",
+        stats.worker_tracks
+    );
+    assert!(stats.intervals > 0);
+
+    // The per-chunk intervals carry their chunk index and a span-path
+    // label, and at least two distinct worker tids recorded chunks.
+    let Ok(Value::Array(events)) = parsed.field("traceEvents") else {
+        panic!("no traceEvents array");
+    };
+    let mut worker_tids = std::collections::BTreeSet::new();
+    let mut chunk_events = 0usize;
+    for event in events {
+        let Ok(Value::Str(ph)) = event.field("ph") else {
+            continue;
+        };
+        if ph != "X" {
+            continue;
+        }
+        let tid = event.field("tid").and_then(Value::as_u64).expect("tid");
+        if tid >= 1 {
+            worker_tids.insert(tid);
+        }
+        if event
+            .field("args")
+            .and_then(|args| args.field("chunk"))
+            .is_ok()
+        {
+            chunk_events += 1;
+        }
+    }
+    assert!(
+        worker_tids.len() >= 2,
+        "distinct worker tids: {worker_tids:?}"
+    );
+    assert!(chunk_events > 0, "no per-chunk intervals recorded");
+
+    // `--check-trace` accepts the file it just wrote.
+    main_with(&PerfArgs {
+        check_trace: Some(trace_path),
+        ..PerfArgs::default()
+    })
+    .expect("--check-trace accepts a freshly written trace");
+}

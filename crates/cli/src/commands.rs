@@ -36,20 +36,27 @@ commands:
             against every fault preset (none, pm-crash, flaky-migrations,
             trace-noise, all) — and print a comparison table; faults are
             strictly opt-in, so the `none` row equals a plain simulate
-  report    FILE.jsonl
+  report    FILE.jsonl [--format text|json]
             summarize a recorded event log: phase wall-time breakdown,
-            PageRank convergence, event counts
+            PageRank convergence, event counts; --format json emits the
+            summary as machine-readable JSON
   audit     [--vms N] [--algo NAME] [--seed N] [--hours H] [--self-test]
             audit the score book (graph edges, score distributions) and a
             sim run (capacity, anti-collocation after every step); exits
             non-zero on any violation. --self-test injects deliberate
             violations to prove the checker fires
   bench     [--vms a,b,c] [--threads a,b,c] [--repeats N] [--seed N]
-            [--out FILE] [--check FILE]
+            [--out FILE] [--check FILE] [--trace FILE.json]
+            [--check-trace FILE.json] [--gate FILE] [--gate-threshold F]
             perf sweep: time graph build, PageRank convergence and
             end-to-end placement at every VM count x worker count, and
             write BENCH_PRVM.json (median/p95 ms, speedup vs the first
-            worker count). --check validates an existing report instead
+            worker count). --check validates an existing report instead;
+            --trace also records a Chrome trace of the sweep;
+            --check-trace validates an existing trace file; --gate
+            compares fresh medians against a baseline report and exits
+            non-zero on any regression beyond --gate-threshold
+            (default 0.15 = 15%)
 
 parallelism (place, simulate, testbed, chaos):
   --threads N             worker threads for graph build, PageRank and
@@ -61,6 +68,11 @@ observability (place, simulate, testbed, chaos):
   --events FILE.jsonl     record every event as JSON lines
   --metrics FILE.json     dump the metrics registry (phases, counters,
                           gauges, residual series) at exit
+
+profiling (place, simulate):
+  --trace FILE.json       record per-worker span timelines and write a
+                          Chrome trace-event file (open in
+                          chrome://tracing or Perfetto)
 
 algorithms: pagerankvm (default), 2choice, ff, ffdsum, compvm, bestfit,
 worstfit";
@@ -87,6 +99,26 @@ fn obs_finish(metrics: Option<String>) -> Result<(), String> {
         let mut file = std::fs::File::create(&path).map_err(|e| format!("--metrics: {e}"))?;
         writeln!(file, "{json}").map_err(|e| format!("--metrics: {e}"))?;
         println!("  metrics written to {path}");
+    }
+    Ok(())
+}
+
+/// Start the per-worker timeline recorder if `--trace` was given; the
+/// returned sink must be handed to [`trace_finish`] after the run.
+fn trace_setup(
+    f: &[(String, Option<String>)],
+) -> Result<Option<(String, prvm_obs::TraceSink)>, String> {
+    Ok(value_of(f, "trace")?.map(|p| (p.to_owned(), prvm_obs::TraceSink::start(p))))
+}
+
+/// Stop recording and write the schema-validated Chrome trace file.
+fn trace_finish(sink: Option<(String, prvm_obs::TraceSink)>) -> Result<(), String> {
+    if let Some((path, sink)) = sink {
+        let stats = sink.finish().map_err(|e| format!("--trace: {e}"))?;
+        println!(
+            "  trace written to {path} ({} intervals, {} worker tracks)",
+            stats.intervals, stats.worker_tracks
+        );
     }
     Ok(())
 }
@@ -253,7 +285,9 @@ pub fn place(args: &[String]) -> Result<(), String> {
     let f = flags(args)?;
     known(
         &f,
-        &["vms", "algo", "seed", "threads", "log", "events", "metrics"],
+        &[
+            "vms", "algo", "seed", "threads", "log", "events", "metrics", "trace",
+        ],
     )?;
     let n: usize = parse(&f, "vms", 100)?;
     let seed: u64 = parse(&f, "seed", 42)?;
@@ -263,6 +297,7 @@ pub fn place(args: &[String]) -> Result<(), String> {
     }
     threads_setup(&f)?;
     let metrics = obs_setup(&f)?;
+    let trace = trace_setup(&f)?;
     let run_span = Span::enter("place");
 
     let book = prvm_sim::ec2_score_book().map_err(|e| e.to_string())?;
@@ -297,6 +332,7 @@ pub fn place(args: &[String]) -> Result<(), String> {
         }
     }
     drop(run_span);
+    trace_finish(trace)?;
     obs_finish(metrics)
 }
 
@@ -306,7 +342,7 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
     known(
         &f,
         &[
-            "vms", "algo", "seed", "hours", "csv", "threads", "log", "events", "metrics",
+            "vms", "algo", "seed", "hours", "csv", "threads", "log", "events", "metrics", "trace",
         ],
     )?;
     let n: usize = parse(&f, "vms", 100)?;
@@ -315,6 +351,7 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
     let algorithm = algo(&f)?;
     threads_setup(&f)?;
     let metrics = obs_setup(&f)?;
+    let trace = trace_setup(&f)?;
     let run_span = Span::enter("simulate");
 
     let sim = SimConfig {
@@ -349,6 +386,7 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
         println!("  per-scan time series written to {path}");
     }
     drop(run_span);
+    trace_finish(trace)?;
     obs_finish(metrics)
 }
 
@@ -610,15 +648,25 @@ pub fn bench(args: &[String]) -> Result<(), String> {
     prvm_bench::perf::main_with(&perf_args)
 }
 
-/// `pagerankvm report FILE.jsonl`.
+/// `pagerankvm report FILE.jsonl [--format text|json]`.
 pub fn report(args: &[String]) -> Result<(), String> {
-    let [path] = args else {
-        return Err("usage: pagerankvm report FILE.jsonl".into());
+    let Some((path, rest)) = args.split_first().filter(|(p, _)| !p.starts_with("--")) else {
+        return Err("usage: pagerankvm report FILE.jsonl [--format text|json]".into());
     };
+    let f = flags(rest)?;
+    known(&f, &["format"])?;
+    let format = value_of(&f, "format")?.unwrap_or("text");
     let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
     let summary = prvm_obs::summarize_events(std::io::BufReader::new(file))
         .map_err(|e| format!("{path}: {e}"))?;
-    print!("{}", prvm_obs::render_report(&summary));
+    match format {
+        "text" => print!("{}", prvm_obs::render_report(&summary)),
+        "json" => {
+            let json = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
+            println!("{json}");
+        }
+        other => return Err(format!("bad value for --format: {other} (text|json)")),
+    }
     Ok(())
 }
 
@@ -660,12 +708,29 @@ mod tests {
     }
 
     /// One test covers every command that touches the process-global
-    /// event sink, so parallel tests cannot re-initialize it mid-run.
+    /// event sink or timeline recorder, so parallel tests cannot
+    /// re-initialize them mid-run.
     #[test]
     fn obs_flags_roundtrip_through_report() {
-        place(&s(&["--vms", "12", "--algo", "ff", "--seed", "1"])).unwrap();
-
         let dir = std::env::temp_dir();
+        let trace = dir.join(format!("prvm-cli-test-{}-trace.json", std::process::id()));
+        place(&s(&[
+            "--vms",
+            "12",
+            "--algo",
+            "ff",
+            "--seed",
+            "1",
+            "--trace",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // The `--trace` file is a schema-valid Chrome trace.
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let stats = prvm_obs::validate_chrome_trace(&parsed).unwrap();
+        assert!(stats.intervals > 0);
+
         let events = dir.join(format!("prvm-cli-test-{}.jsonl", std::process::id()));
         let metrics = dir.join(format!("prvm-cli-test-{}.json", std::process::id()));
         simulate(&s(&[
@@ -693,8 +758,15 @@ mod tests {
         assert!(phases.contains(&"simulate"), "{phases:?}");
         assert!(phases.contains(&"simulate/scan"), "{phases:?}");
         report(&s(&[events.to_str().unwrap()])).unwrap();
+        report(&s(&[events.to_str().unwrap(), "--format", "json"])).unwrap();
+        // The JSON form round-trips back into the same summary.
+        let json = serde_json::to_string(&summary).unwrap();
+        let back: prvm_obs::ReportSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, summary);
         assert!(report(&s(&["/nonexistent/events.jsonl"])).is_err());
         assert!(report(&s(&[])).is_err());
+        let err = report(&s(&[events.to_str().unwrap(), "--format", "xml"])).unwrap_err();
+        assert!(err.contains("--format"), "{err}");
 
         // The metrics dump is valid JSON with the expected sections.
         let dump = std::fs::read_to_string(&metrics).unwrap();
@@ -706,6 +778,7 @@ mod tests {
         prvm_obs::init(ObsConfig::default()).unwrap();
         std::fs::remove_file(&events).ok();
         std::fs::remove_file(&metrics).ok();
+        std::fs::remove_file(&trace).ok();
     }
 
     #[test]

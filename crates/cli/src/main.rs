@@ -6,14 +6,17 @@
 //! pagerankvm simulate --vms 200 [--algo …] [--seed N] [--hours H] [--csv FILE]
 //! pagerankvm testbed --jobs 150 [--algo …] [--seed N]
 //! pagerankvm chaos [--vms N] [--seed N] [--scans N]
-//! pagerankvm report FILE.jsonl
+//! pagerankvm report FILE.jsonl [--format text|json]
 //! pagerankvm audit [--vms N] [--algo …] [--seed N] [--hours H] [--self-test]
 //! pagerankvm bench [--vms a,b,c] [--threads a,b,c] [--repeats N] [--out FILE]
+//!                  [--trace FILE.json] [--gate FILE] [--gate-threshold F]
 //! ```
 //!
 //! `place`, `simulate` and `testbed` also take `--threads N`,
 //! `--log off|pretty|json`, `--events FILE.jsonl` and
-//! `--metrics FILE.json` (see `--help`).
+//! `--metrics FILE.json`; `place` and `simulate` additionally take
+//! `--trace FILE.json` to record a Chrome trace of the per-worker span
+//! timelines (see `--help`).
 
 mod commands;
 

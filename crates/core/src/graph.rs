@@ -329,6 +329,9 @@ impl ProfileGraph {
             // `nodes` ends with the map; discovered profiles are merged
             // below, where `nodes` is grown.
             let expansions: Vec<Vec<Profile>> = {
+                // Sub-span per level: the parallel part of the build.
+                // Its chunks land on worker lanes when tracing.
+                let _expand = Span::enter("expand");
                 let (_, frontier) = nodes.split_at(level_start);
                 pool.map(frontier, |node| {
                     let mut outs: Vec<Profile> = Vec::new();
@@ -339,6 +342,10 @@ impl ProfileGraph {
                 })
             };
             level_start = nodes.len();
+            // Sub-span per level: the sequential id-minting merge. The
+            // expand/stitch split is what makes the speedup story
+            // diagnosable in a trace (parallel compute vs serial merge).
+            let stitch_span = Span::enter("stitch");
             for outs in expansions {
                 buf.clear();
                 for out in outs {
@@ -368,6 +375,7 @@ impl ProfileGraph {
                 succ.extend_from_slice(&buf);
                 succ_off.push(succ.len());
             }
+            drop(stitch_span);
         }
 
         let util = nodes.iter().map(|p| space.utilization(p)).collect();

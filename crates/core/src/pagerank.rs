@@ -189,21 +189,26 @@ pub fn pagerank_with_pool(
         // voter's out-links. Both orientations gather per receiver: each
         // receiving node's sum is an independent left-to-right fold, so
         // the parallel map is bit-identical to a sequential sweep.
-        let aux: Vec<f64> = match config.orientation {
-            Orientation::TowardFuller => pool.map(&preds, |voters| {
-                voters
-                    .iter()
-                    .fold(0.0f64, |acc, &(v, fanout)| acc + pr[ix(v)] / fanout)
-            }),
-            Orientation::TowardEmptier => {
-                // Edge i -> s in the hosting graph becomes a vote s -> i;
-                // node s splits its rank over indeg[s] such votes.
-                pool.map_index(n, |i| {
-                    graph
-                        .successors(nid(i))
+        let aux: Vec<f64> = {
+            // Sub-span per iteration: the parallel part of the sweep.
+            // Its chunks land on worker lanes when tracing.
+            let _gather = Span::enter("gather");
+            match config.orientation {
+                Orientation::TowardFuller => pool.map(&preds, |voters| {
+                    voters
                         .iter()
-                        .fold(0.0f64, |acc, &s| acc + pr[ix(s)] / f64::from(indeg[ix(s)]))
-                })
+                        .fold(0.0f64, |acc, &(v, fanout)| acc + pr[ix(v)] / fanout)
+                }),
+                Orientation::TowardEmptier => {
+                    // Edge i -> s in the hosting graph becomes a vote s -> i;
+                    // node s splits its rank over indeg[s] such votes.
+                    pool.map_index(n, |i| {
+                        graph
+                            .successors(nid(i))
+                            .iter()
+                            .fold(0.0f64, |acc, &s| acc + pr[ix(s)] / f64::from(indeg[ix(s)]))
+                    })
+                }
             }
         };
         // Lines 13–16: new scores from the teleport term plus damped votes.

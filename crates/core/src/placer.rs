@@ -165,6 +165,9 @@ impl PlacementAlgorithm for PageRankVmPlacer {
         vm: &VmSpec,
         exclude: &dyn Fn(PmId) -> bool,
     ) -> Option<PlacementDecision> {
+        // One span per VM placed; `best_option` below stays span-free
+        // (it runs once per scanned PM, far too hot — see lint.toml).
+        let _span = prvm_obs::Span::enter("choose");
         let mut best: Option<(f64, PmId, Assignment)> = None;
         let mut fallback: Option<PlacementDecision> = None;
         let mut scanned = 0u64;

@@ -119,6 +119,63 @@ fn pagerank_bits_are_identical_at_1_2_4_threads_both_orientations() {
     }
 }
 
+/// Profiling is observation-only: with the per-worker timeline
+/// recorder enabled (and, in test builds, the counting allocator
+/// compiled in via the `prof-alloc` dev-dependency feature), graph and
+/// score bits still match the unprofiled sequential reference exactly.
+#[test]
+fn profiling_enabled_runs_are_bit_identical() {
+    let reference = ProfileGraph::build_with_pool(
+        space(),
+        paper_vms(),
+        GraphLimits::default(),
+        Pool::sequential(),
+    )
+    .expect("reference build");
+    let reference_pr =
+        pagerank_with_pool(&reference, &PageRankConfig::default(), Pool::sequential());
+
+    prvm_obs::timeline::enable();
+    let profiled =
+        ProfileGraph::build_with_pool(space(), paper_vms(), GraphLimits::default(), Pool::new(2))
+            .expect("profiled build");
+    let profiled_pr = pagerank_with_pool(&profiled, &PageRankConfig::default(), Pool::new(2));
+    let timeline = prvm_obs::timeline::disable();
+
+    assert!(
+        timeline.worker_lanes().len() >= 2,
+        "2-thread profiled run should record >= 2 worker lanes, got {:?}",
+        timeline.lanes
+    );
+    assert_eq!(profiled.node_count(), reference.node_count());
+    assert_eq!(profiled.edge_count(), reference.edge_count());
+    for id in reference.node_ids() {
+        assert_eq!(
+            profiled.successors(id),
+            reference.successors(id),
+            "node {id}"
+        );
+        assert_eq!(
+            profiled.utilization(id).to_bits(),
+            reference.utilization(id).to_bits(),
+            "node {id} utilization bits"
+        );
+    }
+    assert_eq!(profiled_pr.iterations, reference_pr.iterations);
+    for (i, (a, b)) in profiled_pr
+        .scores
+        .iter()
+        .zip(reference_pr.scores.iter())
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "score[{i}] differs under profiling"
+        );
+    }
+}
+
 #[test]
 fn full_space_graph_is_identical_at_1_2_4_threads() {
     let reference = ProfileGraph::build_full_with_pool(

@@ -1,7 +1,7 @@
 //! `prvm-lint` — workspace-native static analysis for the PageRankVM
 //! reproduction.
 //!
-//! Walks `crates/*/src`, applies the project lint rules L001–L006 (see
+//! Walks `crates/*/src`, applies the project lint rules L001–L007 (see
 //! `rules.rs` and DESIGN.md §8), subtracts the justified exceptions in
 //! `lint.toml`, and exits non-zero when unallowlisted findings remain.
 //!
@@ -28,7 +28,8 @@ L002  no lossy `as` numeric casts in core/model (units.rs is the sanctioned laye
 L003  no raw f64 resource arithmetic in core/sim bypassing the units.rs newtypes
 L004  no unchecked slice indexing in hot paths (graph.rs, pagerank.rs, placer.rs)
 L005  every pub fn in core documents a `# Panics` section when it can panic
-L006  no bare .recv() / .send().unwrap() on crossbeam channels outside tests";
+L006  no bare .recv() / .send().unwrap() on crossbeam channels outside tests
+L007  non-trivial pub fns on hot paths open a profiling span (Span::enter/timed)";
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
@@ -215,7 +216,7 @@ mod tests {
 
     #[test]
     fn rule_table_lists_all_rules() {
-        for rule in ["L001", "L002", "L003", "L004", "L005", "L006"] {
+        for rule in ["L001", "L002", "L003", "L004", "L005", "L006", "L007"] {
             assert!(RULE_TABLE.contains(rule));
         }
     }

@@ -1,4 +1,4 @@
-//! The project-specific lint rules L001–L006.
+//! The project-specific lint rules L001–L007.
 //!
 //! Each rule operates on the masked lines produced by `scan.rs`, so string
 //! and comment text never triggers findings. Rules are scoped by crate and
@@ -18,6 +18,11 @@
 //!   `.recv()` and no panicking `.send(…).unwrap()` outside tests: a
 //!   peer's death must surface as a typed error, not a hang or a panic
 //!   (DESIGN.md §9).
+//! * **L007** — non-trivial `pub fn`s on the hot paths (`graph.rs`,
+//!   `pagerank.rs`, `placer.rs`) must open a profiling span
+//!   (`Span::enter` / `Span::timed`) so `--trace` timelines and phase
+//!   histograms cover them (DESIGN.md §11); trivial accessors are
+//!   exempt by size, deliberately span-free helpers via lint.toml.
 
 use crate::scan::SourceFile;
 
@@ -67,7 +72,19 @@ pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
     l004_no_unchecked_index(file, out);
     l005_panics_documented(file, out);
     l006_no_bare_channel_ops(file, out);
+    l007_hot_paths_open_spans(file, out);
 }
+
+/// Files on the placement hot path, shared by L004 and L007.
+const HOT_FILES: [&str; 3] = [
+    "core/src/graph.rs",
+    "core/src/pagerank.rs",
+    "core/src/placer.rs",
+];
+
+/// Body lines (non-blank, masked) above which a hot-path `pub fn` is no
+/// longer a trivial accessor and L007 requires a span.
+const L007_TRIVIAL_LINES: usize = 12;
 
 fn push(
     out: &mut Vec<Finding>,
@@ -152,12 +169,7 @@ fn l003_no_raw_resource_math(file: &SourceFile, out: &mut Vec<Finding>) {
 
 /// L004: unchecked slice indexing in the hot paths.
 fn l004_no_unchecked_index(file: &SourceFile, out: &mut Vec<Finding>) {
-    let hot = [
-        "core/src/graph.rs",
-        "core/src/pagerank.rs",
-        "core/src/placer.rs",
-    ];
-    if !hot.iter().any(|h| file.rel.ends_with(h)) {
+    if !HOT_FILES.iter().any(|h| file.rel.ends_with(h)) {
         return;
     }
     for (n, line) in file.lines.iter().enumerate() {
@@ -226,6 +238,38 @@ fn l006_no_bare_channel_ops(file: &SourceFile, out: &mut Vec<Finding>) {
                 "use recv_timeout / handle the SendError as a typed error (the peer may be dead), or justify the blocking site in lint.toml",
             );
         }
+    }
+}
+
+/// L007: non-trivial public functions on the hot paths must open a
+/// profiling span, so per-worker timelines and phase histograms see
+/// them. Size is measured on masked, non-blank body lines; functions at
+/// or under [`L007_TRIVIAL_LINES`] read as accessors and are exempt.
+fn l007_hot_paths_open_spans(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !HOT_FILES.iter().any(|h| file.rel.ends_with(h)) {
+        return;
+    }
+    for n in 0..file.lines.len() {
+        let line = &file.lines[n];
+        if line.in_test || !starts_pub_fn(&line.code) {
+            continue;
+        }
+        let Some(body) = fn_body(file, n) else {
+            continue;
+        };
+        if body.lines().filter(|l| !l.trim().is_empty()).count() <= L007_TRIVIAL_LINES {
+            continue;
+        }
+        if contains_token(&body, "Span::enter") || contains_token(&body, "Span::timed") {
+            continue;
+        }
+        push(
+            out,
+            file,
+            n,
+            "L007",
+            "open a profiling span (`Span::enter(\"…\")`) so --trace covers this hot-path function, or justify the span-free site in lint.toml",
+        );
     }
 }
 
@@ -479,6 +523,45 @@ mod tests {
         assert!(rules_fired("crates/testbed/src/x.rs", in_test)
             .iter()
             .all(|r| !r.starts_with("L006")));
+    }
+
+    #[test]
+    fn l007_requires_spans_in_long_hot_path_pub_fns() {
+        let long_body: String = (0..16).map(|i| format!("    let x{i} = {i};\n")).collect();
+        let bare = format!("pub fn work(v: &mut Vec<u64>) {{\n{long_body}}}\n");
+        assert!(rules_fired("crates/core/src/pagerank.rs", &bare).contains(&"L007:1".to_string()));
+
+        // The same function outside the hot files is exempt…
+        assert!(rules_fired("crates/core/src/table.rs", &bare)
+            .iter()
+            .all(|r| !r.starts_with("L007")));
+
+        // …as is a spanned version, whether via enter or timed…
+        for span in [
+            "let _s = Span::enter(\"work\");",
+            "Span::timed(\"work\", || 1);",
+        ] {
+            let spanned = format!("pub fn work() {{\n    {span}\n{long_body}}}\n");
+            assert!(
+                rules_fired("crates/core/src/pagerank.rs", &spanned)
+                    .iter()
+                    .all(|r| !r.starts_with("L007")),
+                "{span}"
+            );
+        }
+
+        // …and a trivial accessor stays under the size threshold.
+        let accessor = "pub fn len(&self) -> usize {\n    self.nodes.len()\n}\n";
+        assert!(rules_fired("crates/core/src/graph.rs", accessor)
+            .iter()
+            .all(|r| !r.starts_with("L007")));
+
+        // Private functions are the callee side; only the pub surface
+        // must be covered.
+        let private = format!("fn helper(v: &mut Vec<u64>) {{\n{long_body}}}\n");
+        assert!(rules_fired("crates/core/src/placer.rs", &private)
+            .iter()
+            .all(|r| !r.starts_with("L007")));
     }
 
     #[test]

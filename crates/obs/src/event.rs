@@ -54,8 +54,9 @@ static SINK: RwLock<Option<Sink>> = RwLock::new(None);
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static SEQ: AtomicU64 = AtomicU64::new(0);
 
-/// Process start reference for event timestamps.
-fn epoch() -> Instant {
+/// Process start reference for event timestamps. Shared with
+/// [`crate::timeline`] so trace timestamps line up with event `ts_s`.
+pub(crate) fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
 }

@@ -9,10 +9,17 @@
 //! * **Metrics** ([`Registry`]) — named counters, gauges, log-scale
 //!   latency histograms and numeric series. Always on: recording is a
 //!   couple of relaxed atomic ops, and the [`counter!`]/[`gauge!`]
-//!   macros cache the name lookup per call site.
+//!   macros cache the name lookup per call site, re-resolving when the
+//!   global registry is swapped ([`Registry::install_global`]).
 //! * **Events** ([`event()`]) — structured JSON-lines records with a
 //!   pluggable sink ([`init`]): pretty or JSON on stderr, and/or a
 //!   JSONL file. Off by default; the disabled path is one atomic load.
+//! * **Profiling** ([`timeline`], [`trace`]) — opt-in per-worker span
+//!   timelines recorded by the `prvm-par` pool, rendered as
+//!   `chrome://tracing` / Perfetto trace-event JSON by [`TraceSink`].
+//!   With the `prof-alloc` feature, a counting global allocator
+//!   additionally reports net/peak heap bytes per top-level span as
+//!   `mem.<phase>.*` gauges.
 //!
 //! [`report`] turns either a recorded event log or a live
 //! [`MetricsSnapshot`] back into human-readable phase breakdowns and
@@ -25,10 +32,14 @@
 //!  "span":"place/pagerank","fields":{"run":1,"iter":3,"residual":1e-4}}
 //! ```
 
+#[cfg(feature = "prof-alloc")]
+pub mod alloc;
 pub mod event;
 pub mod metrics;
 pub mod report;
 pub mod span;
+pub mod timeline;
+pub mod trace;
 
 pub use event::{event, flush, init, is_enabled, EventBuilder, LogMode, ObsConfig};
 pub use metrics::{
@@ -36,9 +47,16 @@ pub use metrics::{
 };
 pub use report::{render_metrics, render_report, summarize_events, ReportSummary};
 pub use span::Span;
+pub use timeline::Timeline;
+pub use trace::{validate_chrome_trace, TraceSink, TraceStats};
 
 /// Bump a named counter in the global [`Registry`], caching the handle
-/// per call site.
+/// per call site. The cache is keyed on [`Registry::generation`], so a
+/// test that swaps the global registry ([`Registry::install_global`])
+/// sees subsequent increments land in the new registry rather than a
+/// stale handle on the old one. The generation is read **before**
+/// resolving the global: a concurrent swap costs at most one wasted
+/// re-resolve, never a permanently stale cache.
 ///
 /// ```
 /// prvm_obs::counter!("placer.permutations_evaluated", 12);
@@ -50,16 +68,31 @@ macro_rules! counter {
         $crate::counter!($name, 1u64)
     };
     ($name:expr, $delta:expr) => {{
-        static CACHED: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
-            ::std::sync::OnceLock::new();
-        CACHED
-            .get_or_init(|| $crate::Registry::global().counter($name))
-            .add($delta as u64);
+        static CACHED: ::std::sync::Mutex<
+            ::std::option::Option<(u64, ::std::sync::Arc<$crate::Counter>)>,
+        > = ::std::sync::Mutex::new(::std::option::Option::None);
+        let generation = $crate::Registry::generation();
+        let mut cached = CACHED
+            .lock()
+            .unwrap_or_else(::std::sync::PoisonError::into_inner);
+        match cached.as_ref() {
+            ::std::option::Option::Some((cached_generation, handle))
+                if *cached_generation == generation =>
+            {
+                handle.add($delta as u64);
+            }
+            _ => {
+                let handle = $crate::Registry::global().counter($name);
+                handle.add($delta as u64);
+                *cached = ::std::option::Option::Some((generation, handle));
+            }
+        }
     }};
 }
 
 /// Set a named gauge in the global [`Registry`], caching the handle
-/// per call site.
+/// per call site. Generation-aware exactly like [`counter!`]: the
+/// handle re-resolves after the global registry is swapped.
 ///
 /// ```
 /// prvm_obs::gauge!("sim.mean_utilization", 0.62);
@@ -67,18 +100,42 @@ macro_rules! counter {
 #[macro_export]
 macro_rules! gauge {
     ($name:expr, $value:expr) => {{
-        static CACHED: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
-            ::std::sync::OnceLock::new();
-        CACHED
-            .get_or_init(|| $crate::Registry::global().gauge($name))
-            .set($value as f64);
+        static CACHED: ::std::sync::Mutex<
+            ::std::option::Option<(u64, ::std::sync::Arc<$crate::Gauge>)>,
+        > = ::std::sync::Mutex::new(::std::option::Option::None);
+        let generation = $crate::Registry::generation();
+        let mut cached = CACHED
+            .lock()
+            .unwrap_or_else(::std::sync::PoisonError::into_inner);
+        match cached.as_ref() {
+            ::std::option::Option::Some((cached_generation, handle))
+                if *cached_generation == generation =>
+            {
+                handle.set($value as f64);
+            }
+            _ => {
+                let handle = $crate::Registry::global().gauge($name);
+                handle.set($value as f64);
+                *cached = ::std::option::Option::Some((generation, handle));
+            }
+        }
     }};
+}
+
+/// Serializes unit tests that read or swap the global registry, so a
+/// swap in one test cannot redirect another test's recordings.
+#[cfg(test)]
+pub(crate) fn global_registry_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn macros_record_into_the_global_registry() {
+        let _guard = crate::global_registry_test_lock();
         counter!("obs_lib_test.counter", 2);
         counter!("obs_lib_test.counter", 2);
         gauge!("obs_lib_test.gauge", 1.25);
@@ -92,5 +149,38 @@ mod tests {
             crate::Registry::global().gauge("obs_lib_test.gauge").get(),
             1.25
         );
+    }
+
+    /// Regression test for the stale-cache bug: a `counter!`/`gauge!`
+    /// call site primed against one global registry must follow a
+    /// [`crate::Registry::install_global`] swap instead of recording
+    /// into the displaced registry forever.
+    #[test]
+    fn macro_caches_follow_global_registry_swaps() {
+        let _guard = crate::global_registry_test_lock();
+        // Single call sites invoked across the swap, so each macro's
+        // per-site static cache is primed on the old registry.
+        let bump = |delta: u64| counter!("obs_lib_swap.counter", delta);
+        let level = |value: f64| gauge!("obs_lib_swap.gauge", value);
+        bump(1);
+        level(1.0);
+        let old = crate::Registry::global();
+        let fresh = crate::Registry::replace_global();
+        bump(5);
+        level(2.5);
+        assert_eq!(
+            fresh.counter("obs_lib_swap.counter").get(),
+            5,
+            "cached counter handle kept recording into the old registry"
+        );
+        assert_eq!(
+            fresh.gauge("obs_lib_swap.gauge").get(),
+            2.5,
+            "cached gauge handle kept recording into the old registry"
+        );
+        assert_eq!(old.counter("obs_lib_swap.counter").get(), 1);
+        assert_eq!(old.gauge("obs_lib_swap.gauge").get(), 1.0);
+        // Put the original registry back for the other tests.
+        crate::Registry::install_global(old);
     }
 }

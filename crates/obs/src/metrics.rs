@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 /// Monotonic event count.
@@ -249,6 +249,12 @@ pub struct Registry {
     series: RwLock<BTreeMap<String, Arc<Series>>>,
 }
 
+/// The process-wide registry, lazily created; `None` until first use.
+static GLOBAL: RwLock<Option<Arc<Registry>>> = RwLock::new(None);
+
+/// Bumped on every global-registry swap; see [`Registry::generation`].
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
 fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
     if let Some(found) = map
         .read()
@@ -272,10 +278,54 @@ impl Registry {
     }
 
     /// The process-wide registry that the `counter!`/`gauge!` macros
-    /// and [`crate::Span`] record into.
-    pub fn global() -> &'static Registry {
-        static GLOBAL: OnceLock<Registry> = OnceLock::new();
-        GLOBAL.get_or_init(Registry::new)
+    /// and [`crate::Span`] record into. Replaceable via
+    /// [`Registry::install_global`]; cached handles detect the swap
+    /// through [`Registry::generation`].
+    pub fn global() -> Arc<Registry> {
+        if let Some(registry) = GLOBAL
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_ref()
+        {
+            return Arc::clone(registry);
+        }
+        let mut guard = GLOBAL
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Arc::clone(guard.get_or_insert_with(|| Arc::new(Registry::new())))
+    }
+
+    /// Generation of the global registry. Bumped on every
+    /// [`Registry::install_global`] / [`Registry::replace_global`], so a
+    /// call site that cached a handle can tell it resolved against an
+    /// older global and must re-resolve. Read this **before** calling
+    /// [`Registry::global`]: a concurrent swap then costs at most one
+    /// wasted re-resolve instead of a permanently stale cache.
+    pub fn generation() -> u64 {
+        GENERATION.load(Ordering::Acquire)
+    }
+
+    /// Swap in `registry` as the process-wide global and return the one
+    /// it displaced (a fresh empty registry if none was ever touched).
+    /// Bumps [`Registry::generation`] so macro call-site caches refresh.
+    pub fn install_global(registry: Arc<Registry>) -> Arc<Registry> {
+        let mut guard = GLOBAL
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let old = guard
+            .replace(registry)
+            .unwrap_or_else(|| Arc::new(Registry::new()));
+        GENERATION.fetch_add(1, Ordering::Release);
+        old
+    }
+
+    /// Install a fresh empty registry as the global and return it.
+    /// Test helper: isolates a test's metrics from everything recorded
+    /// before, without invalidating handles held on the old registry.
+    pub fn replace_global() -> Arc<Registry> {
+        let fresh = Arc::new(Registry::new());
+        Registry::install_global(Arc::clone(&fresh));
+        fresh
     }
 
     /// Get or create a counter. Call sites on hot paths should cache
@@ -533,6 +583,72 @@ mod tests {
         assert_eq!(phase.count, 2);
         assert!((phase.total_ms - 6.0).abs() < 0.5);
         assert!((phase.mean_ms - 3.0).abs() < 0.25);
+    }
+
+    #[test]
+    fn single_sample_histogram_pins_every_quantile() {
+        let h = Histogram::default();
+        h.record(5);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 5);
+        assert!((snap.mean - 5.0).abs() < 1e-12);
+        // 5 lands in bucket [4,7]; with one sample every quantile is
+        // that bucket's upper bound.
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 7, "q={q}");
+        }
+    }
+
+    #[test]
+    fn saturating_bucket_holds_extreme_values() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        // Both land in the top bucket, whose upper bound saturates.
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // Durations beyond u64 nanoseconds clamp instead of wrapping.
+        let h2 = Histogram::default();
+        h2.record_duration(Duration::from_secs(u64::MAX / 1_000_000_000 + 1));
+        assert_eq!(h2.quantile(1.0), u64::MAX);
+    }
+
+    proptest::proptest! {
+        /// Nearest-rank agreement with a sorted-vec oracle: the
+        /// histogram's quantile must equal the upper bound of the
+        /// bucket holding the oracle's nearest-rank sample.
+        #[test]
+        fn quantiles_match_sorted_vec_oracle(
+            values in proptest::collection::vec(0u64..1_000_000, 1..200),
+            q in 0.0f64..=1.0,
+        ) {
+            let h = Histogram::default();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let expected = bucket_upper_bound(bucket_of(sorted[rank - 1]));
+            proptest::prop_assert_eq!(h.quantile(q), expected);
+        }
+    }
+
+    #[test]
+    fn install_global_swaps_and_bumps_generation() {
+        let _guard = crate::global_registry_test_lock();
+        let before = Registry::generation();
+        let old = Registry::global();
+        old.counter("metrics_global_swap.marker").add(1);
+        let fresh = Registry::replace_global();
+        assert!(Registry::generation() > before);
+        assert_eq!(fresh.counter("metrics_global_swap.marker").get(), 0);
+        assert_eq!(old.counter("metrics_global_swap.marker").get(), 1);
+        assert!(Arc::ptr_eq(&Registry::global(), &fresh));
+        let displaced = Registry::install_global(old);
+        assert!(Arc::ptr_eq(&displaced, &fresh));
     }
 
     #[test]

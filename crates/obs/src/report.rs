@@ -3,13 +3,13 @@
 //! per-phase wall-time breakdowns and convergence diagnostics.
 
 use crate::metrics::MetricsSnapshot;
-use serde::Value;
+use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::BufRead;
 
 /// Aggregated wall time for one span path, from `span_end` events.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PhaseAgg {
     pub name: String,
     pub count: u64,
@@ -18,7 +18,7 @@ pub struct PhaseAgg {
 
 /// Convergence record of one PageRank invocation, from
 /// `pagerank.iteration` / `pagerank.done` events.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PagerankRun {
     pub run: u64,
     pub iterations: u64,
@@ -29,7 +29,10 @@ pub struct PagerankRun {
 }
 
 /// Everything `pagerankvm report` reconstructs from an event log.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializes to JSON for `pagerankvm report --format json`, so other
+/// tooling can consume the breakdown without re-parsing the event log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReportSummary {
     /// Total events in the log.
     pub events: u64,
@@ -353,6 +356,18 @@ mod tests {
         assert!(text.contains("place/pagerank"));
         assert!(text.contains("converged in 2 iterations"));
         assert!(text.contains("events: 7"));
+    }
+
+    /// The JSON form of a summary (`report --format json`) round-trips
+    /// losslessly — finite residuals only, since JSON has no NaN.
+    #[test]
+    fn summary_round_trips_through_json() {
+        let summary = summarize_events(Cursor::new(sample_log())).expect("valid log");
+        let json = serde_json::to_string(&summary).expect("serializes");
+        let back: ReportSummary = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, summary);
+        assert!(json.contains("\"phases\""), "{json}");
+        assert!(json.contains("place/pagerank"), "{json}");
     }
 
     #[test]

@@ -2,6 +2,15 @@
 //! builds slash-joined paths (`simulate/scan`), and each drop records
 //! the duration into the global registry's `span.<path>` histogram and
 //! emits a `span_end` event.
+//!
+//! When the [`crate::timeline`] recorder is enabled, every span also
+//! lands as an interval on the current thread's lane, so top-level
+//! phases show up as bars in the Chrome trace alongside the per-worker
+//! chunk intervals recorded by the `prvm-par` pool. With the
+//! `prof-alloc` feature, **root** spans (no enclosing span on the
+//! thread) additionally measure heap traffic while they are open and
+//! report it as `mem.<path>.net_bytes` / `mem.<path>.peak_bytes`
+//! gauges.
 
 use std::cell::RefCell;
 use std::time::Instant;
@@ -29,19 +38,26 @@ pub fn current_path() -> Option<String> {
 pub struct Span {
     path: String,
     start: Instant,
+    #[cfg(feature = "prof-alloc")]
+    mem: Option<crate::alloc::MemoryWindow>,
 }
 
 impl Span {
     /// Open a span named `name` nested under any currently open spans.
     pub fn enter(name: &'static str) -> Span {
-        let path = STACK.with(|stack| {
+        let (path, is_root) = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
+            let is_root = stack.is_empty();
             stack.push(name);
-            stack.join("/")
+            (stack.join("/"), is_root)
         });
+        #[cfg(not(feature = "prof-alloc"))]
+        let _ = is_root;
         Span {
             path,
             start: Instant::now(),
+            #[cfg(feature = "prof-alloc")]
+            mem: is_root.then(crate::alloc::MemoryWindow::start),
         }
     }
 
@@ -66,7 +82,8 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        let duration = self.start.elapsed();
+        let end = Instant::now();
+        let duration = end.duration_since(self.start);
         STACK.with(|stack| {
             stack.borrow_mut().pop();
         });
@@ -77,6 +94,20 @@ impl Drop for Span {
                 self.path
             ))
             .record_duration(duration);
+        if crate::timeline::is_enabled() {
+            crate::timeline::record(&self.path, None, self.start, end);
+        }
+        #[cfg(feature = "prof-alloc")]
+        if let Some(window) = self.mem.take() {
+            let delta = window.finish();
+            let registry = crate::Registry::global();
+            registry
+                .gauge(&format!("mem.{}.net_bytes", self.path))
+                .set(delta.net_bytes as f64);
+            registry
+                .gauge(&format!("mem.{}.peak_bytes", self.path))
+                .set(delta.peak_bytes as f64);
+        }
         crate::event::event("span_end")
             .field("span", self.path.as_str())
             .field(
@@ -108,6 +139,7 @@ mod tests {
 
     #[test]
     fn dropping_records_into_global_registry() {
+        let _guard = crate::global_registry_test_lock();
         {
             let _span = Span::enter("obs_span_test_phase");
         }
@@ -117,11 +149,33 @@ mod tests {
 
     #[test]
     fn timed_returns_result_and_duration_and_records() {
+        let _guard = crate::global_registry_test_lock();
         let (value, duration) = Span::timed("obs_span_timed_phase", || 6 * 7);
         assert_eq!(value, 42);
         assert!(duration.as_nanos() > 0);
         let h = crate::Registry::global().histogram("span.obs_span_timed_phase");
         assert!(h.count() >= 1);
         assert_eq!(current_path(), None, "span closed on return");
+    }
+
+    #[cfg(feature = "prof-alloc")]
+    #[test]
+    fn root_spans_report_memory_gauges() {
+        let _guard = crate::global_registry_test_lock();
+        {
+            let _span = Span::enter("obs_span_mem_phase");
+            // Allocate something observable while the root span is open.
+            let block = vec![0u8; 1 << 16];
+            std::hint::black_box(&block);
+        }
+        let peak = crate::Registry::global()
+            .gauge("mem.obs_span_mem_phase.peak_bytes")
+            .get();
+        // Other test threads may free concurrently; half the block is
+        // a safe lower bound.
+        assert!(
+            peak >= ((1 << 16) / 2) as f64,
+            "peak gauge {peak} missed a 64 KiB allocation"
+        );
     }
 }

@@ -1,0 +1,232 @@
+//! Per-worker span timeline: an opt-in recorder that captures
+//! `(lane, label, chunk, start, end)` intervals from the `prvm-par`
+//! pool and from [`crate::Span`] drops, for rendering as a Chrome
+//! trace ([`crate::trace`]).
+//!
+//! Lanes are trace tracks: lane `0` is the orchestrating thread (the
+//! one running the top-level phases); the pool assigns each spawned
+//! worker lane `1..=workers` for the duration of one parallel section.
+//! Recording is strictly observation-only — it never changes chunk
+//! boundaries or stitch order, so the determinism contract
+//! (DESIGN.md §10) is untouched; the disabled fast path is a single
+//! relaxed atomic load.
+
+use std::cell::Cell;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One recorded interval on a worker lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Track the interval belongs to: `0` = orchestrating thread,
+    /// `1..` = pool workers.
+    pub lane: u32,
+    /// What ran: a span path (`bench.graph_build`), or a pool label
+    /// (`bench.graph_build/chunk`, `bench.pagerank/worker`).
+    pub label: String,
+    /// Chunk index for pool chunk intervals; `None` for whole spans
+    /// and worker lifetimes.
+    pub chunk: Option<u64>,
+    /// Start offset from the process epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Interval length, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Everything captured between [`enable`] and [`disable`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Timeline {
+    /// Recorded intervals, in completion order.
+    pub records: Vec<SpanRecord>,
+    /// Every lane that was entered while recording (even if it ended
+    /// up claiming zero chunks), sorted.
+    pub lanes: Vec<u32>,
+}
+
+impl Timeline {
+    /// Lanes `>= 1`, i.e. pool worker tracks.
+    pub fn worker_lanes(&self) -> Vec<u32> {
+        self.lanes.iter().copied().filter(|&l| l >= 1).collect()
+    }
+}
+
+#[derive(Default)]
+struct State {
+    records: Vec<SpanRecord>,
+    lanes: BTreeSet<u32>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<State>> = Mutex::new(None);
+
+thread_local! {
+    static LANE: Cell<u32> = const { Cell::new(0) };
+}
+
+/// True while a recording is in progress. The hot-path guard: pool
+/// workers check this once per parallel section.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Start a fresh recording, discarding anything a previous enable left
+/// behind.
+pub fn enable() {
+    let mut guard = STATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    *guard = Some(State::default());
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Stop recording and hand back everything captured since [`enable`].
+/// Returns an empty [`Timeline`] when recording was never enabled.
+pub fn disable() -> Timeline {
+    ENABLED.store(false, Ordering::Release);
+    let state = STATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take()
+        .unwrap_or_default();
+    Timeline {
+        records: state.records,
+        lanes: state.lanes.into_iter().collect(),
+    }
+}
+
+/// Lane the current thread records onto (`0` unless inside
+/// [`enter_lane`]).
+pub fn current_lane() -> u32 {
+    LANE.with(Cell::get)
+}
+
+/// Assigns the current thread to `lane` until the guard drops; the
+/// lane is registered in the timeline immediately, so a worker that
+/// claims zero chunks still shows up as an (empty) track.
+#[must_use = "the lane assignment ends when the guard drops"]
+pub struct LaneGuard {
+    prev: u32,
+}
+
+/// Put the current thread on `lane` for the lifetime of the returned
+/// guard. Used by the `prvm-par` pool: each spawned worker takes lane
+/// `worker_index + 1`.
+pub fn enter_lane(lane: u32) -> LaneGuard {
+    let prev = LANE.with(|l| l.replace(lane));
+    if is_enabled() {
+        let mut guard = STATE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(state) = guard.as_mut() {
+            state.lanes.insert(lane);
+        }
+    }
+    LaneGuard { prev }
+}
+
+impl Drop for LaneGuard {
+    fn drop(&mut self) {
+        LANE.with(|l| l.set(self.prev));
+    }
+}
+
+/// Record one completed interval on the current thread's lane. No-op
+/// while recording is disabled. `start`/`end` are wall-clock instants;
+/// they are stored as nanosecond offsets from the process epoch (the
+/// same origin event `ts_s` uses).
+pub fn record(label: &str, chunk: Option<u64>, start: Instant, end: Instant) {
+    if !is_enabled() {
+        return;
+    }
+    let epoch = crate::event::epoch();
+    let record = SpanRecord {
+        lane: current_lane(),
+        label: label.to_owned(),
+        chunk,
+        start_ns: saturating_ns(start.duration_since(epoch)),
+        dur_ns: saturating_ns(end.duration_since(start)),
+    };
+    let mut guard = STATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(state) = guard.as_mut() {
+        state.lanes.insert(record.lane);
+        state.records.push(record);
+    }
+}
+
+fn saturating_ns(duration: std::time::Duration) -> u64 {
+    duration.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Timeline state is process-global, so tests that enable/disable
+    /// it must not interleave (shared with the trace-sink tests).
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        crate::global_registry_test_lock()
+    }
+
+    #[test]
+    fn disabled_recorder_drops_records() {
+        let _guard = lock();
+        assert!(!is_enabled());
+        let t0 = Instant::now();
+        record("ignored", None, t0, Instant::now());
+        let timeline = disable();
+        assert!(timeline.records.is_empty());
+        assert!(timeline.lanes.is_empty());
+    }
+
+    #[test]
+    fn records_capture_lane_label_and_chunk() {
+        let _guard = lock();
+        enable();
+        let t0 = Instant::now();
+        record("phase", None, t0, Instant::now());
+        {
+            let _lane = enter_lane(3);
+            assert_eq!(current_lane(), 3);
+            let t1 = Instant::now();
+            record("phase/chunk", Some(7), t1, Instant::now());
+        }
+        assert_eq!(current_lane(), 0, "lane restored after guard drop");
+        let timeline = disable();
+        assert_eq!(timeline.records.len(), 2);
+        assert_eq!(timeline.records[0].lane, 0);
+        assert_eq!(timeline.records[0].label, "phase");
+        assert_eq!(timeline.records[0].chunk, None);
+        assert_eq!(timeline.records[1].lane, 3);
+        assert_eq!(timeline.records[1].chunk, Some(7));
+        assert_eq!(timeline.lanes, vec![0, 3]);
+        assert_eq!(timeline.worker_lanes(), vec![3]);
+    }
+
+    #[test]
+    fn idle_workers_still_register_their_lane() {
+        let _guard = lock();
+        enable();
+        {
+            let _lane = enter_lane(2);
+            // Claims no chunks, records nothing.
+        }
+        let timeline = disable();
+        assert!(timeline.records.is_empty());
+        assert_eq!(timeline.lanes, vec![2]);
+    }
+
+    #[test]
+    fn enable_clears_previous_capture() {
+        let _guard = lock();
+        enable();
+        let t0 = Instant::now();
+        record("stale", None, t0, Instant::now());
+        enable();
+        let timeline = disable();
+        assert!(timeline.records.is_empty());
+    }
+}

@@ -1,0 +1,322 @@
+//! Chrome trace-event export for [`crate::timeline`] recordings.
+//!
+//! [`chrome_trace`] renders a [`Timeline`] as the JSON Object Format
+//! understood by `chrome://tracing` and Perfetto: one `"X"` (complete)
+//! event per recorded interval with microsecond `ts`/`dur`, plus `"M"`
+//! metadata events naming the process and one thread per lane (lane 0
+//! is `main`, lane `n >= 1` is `worker-n`). [`TraceSink`] wraps the
+//! enable → run → disable → render → validate → write lifecycle behind
+//! `--trace FILE`, and [`validate_chrome_trace`] is the schema check
+//! both the tests and `pagerankvm bench --check-trace` use.
+
+use crate::timeline::{self, Timeline};
+use serde::Value;
+use std::path::PathBuf;
+
+/// Trace process id; there is only one process in a run.
+const PID: u64 = 1;
+
+fn object(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn lane_name(lane: u32) -> String {
+    if lane == 0 {
+        "main".to_owned()
+    } else {
+        format!("worker-{lane}")
+    }
+}
+
+/// Render a timeline as a trace-event JSON document
+/// (`{"traceEvents": [...]}`).
+pub fn chrome_trace(timeline: &Timeline) -> Value {
+    let mut events = Vec::with_capacity(timeline.records.len() + timeline.lanes.len() + 1);
+    events.push(object(vec![
+        ("name", Value::Str("process_name".to_owned())),
+        ("ph", Value::Str("M".to_owned())),
+        ("pid", Value::UInt(PID)),
+        (
+            "args",
+            object(vec![("name", Value::Str("pagerankvm".to_owned()))]),
+        ),
+    ]));
+    for &lane in &timeline.lanes {
+        events.push(object(vec![
+            ("name", Value::Str("thread_name".to_owned())),
+            ("ph", Value::Str("M".to_owned())),
+            ("pid", Value::UInt(PID)),
+            ("tid", Value::UInt(u64::from(lane))),
+            ("args", object(vec![("name", Value::Str(lane_name(lane)))])),
+        ]));
+    }
+    for record in &timeline.records {
+        let mut fields = vec![
+            ("name", Value::Str(record.label.clone())),
+            ("ph", Value::Str("X".to_owned())),
+            ("ts", Value::Float(record.start_ns as f64 / 1e3)),
+            ("dur", Value::Float(record.dur_ns as f64 / 1e3)),
+            ("pid", Value::UInt(PID)),
+            ("tid", Value::UInt(u64::from(record.lane))),
+        ];
+        if let Some(chunk) = record.chunk {
+            fields.push(("args", object(vec![("chunk", Value::UInt(chunk))])));
+        }
+        events.push(object(fields));
+    }
+    object(vec![("traceEvents", Value::Array(events))])
+}
+
+/// What a validated trace contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Number of `"X"` (complete) interval events.
+    pub intervals: usize,
+    /// Distinct worker tracks (`tid >= 1`) that recorded at least one
+    /// interval.
+    pub worker_tracks: usize,
+}
+
+fn field_str<'v>(event: &'v Value, name: &str, at: usize) -> Result<&'v str, String> {
+    match event.field(name) {
+        Ok(Value::Str(s)) => Ok(s),
+        _ => Err(format!("traceEvents[{at}]: missing string field {name:?}")),
+    }
+}
+
+fn field_u64(event: &Value, name: &str, at: usize) -> Result<u64, String> {
+    event
+        .field(name)
+        .and_then(Value::as_u64)
+        .map_err(|_| format!("traceEvents[{at}]: missing integer field {name:?}"))
+}
+
+fn field_duration_us(event: &Value, name: &str, at: usize) -> Result<f64, String> {
+    let value = event
+        .field(name)
+        .and_then(Value::as_f64)
+        .map_err(|_| format!("traceEvents[{at}]: missing numeric field {name:?}"))?;
+    if value.is_finite() && value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(format!(
+            "traceEvents[{at}]: field {name:?} must be finite and non-negative, got {value}"
+        ))
+    }
+}
+
+/// Check that `trace` is a structurally valid trace-event document:
+/// a `traceEvents` array of objects, each either an `"X"` complete
+/// event (string `name`, integer `pid`/`tid`, finite non-negative
+/// microsecond `ts`/`dur`) or an `"M"` metadata event (string `name`,
+/// `args.name`). Returns interval/track counts on success.
+pub fn validate_chrome_trace(trace: &Value) -> Result<TraceStats, String> {
+    let events = match trace.field("traceEvents") {
+        Ok(Value::Array(events)) => events,
+        _ => return Err("top level must be an object with a traceEvents array".to_owned()),
+    };
+    let mut intervals = 0usize;
+    let mut worker_tracks = std::collections::BTreeSet::new();
+    for (at, event) in events.iter().enumerate() {
+        if !matches!(event, Value::Object(_)) {
+            return Err(format!("traceEvents[{at}]: not an object"));
+        }
+        let name = field_str(event, "name", at)?;
+        if name.is_empty() {
+            return Err(format!("traceEvents[{at}]: empty event name"));
+        }
+        field_u64(event, "pid", at)?;
+        match field_str(event, "ph", at)? {
+            "X" => {
+                field_duration_us(event, "ts", at)?;
+                field_duration_us(event, "dur", at)?;
+                let tid = field_u64(event, "tid", at)?;
+                intervals += 1;
+                if tid >= 1 {
+                    worker_tracks.insert(tid);
+                }
+            }
+            "M" => {
+                let args = event
+                    .field("args")
+                    .map_err(|_| format!("traceEvents[{at}]: metadata event without args"))?;
+                field_str(args, "name", at)?;
+            }
+            other => {
+                return Err(format!(
+                    "traceEvents[{at}]: unsupported phase {other:?} (expected \"X\" or \"M\")"
+                ));
+            }
+        }
+    }
+    Ok(TraceStats {
+        intervals,
+        worker_tracks: worker_tracks.len(),
+    })
+}
+
+/// RAII-ish profiling capture: [`TraceSink::start`] turns the timeline
+/// recorder on; [`TraceSink::finish`] turns it off, renders the
+/// capture as trace-event JSON, validates it, and writes it to the
+/// path given at start.
+#[must_use = "call .finish() to write the trace file"]
+#[derive(Debug)]
+pub struct TraceSink {
+    path: PathBuf,
+}
+
+impl TraceSink {
+    /// Begin recording; the trace will be written to `path` by
+    /// [`TraceSink::finish`].
+    pub fn start(path: impl Into<PathBuf>) -> TraceSink {
+        timeline::enable();
+        TraceSink { path: path.into() }
+    }
+
+    /// Stop recording, render, schema-validate, and write the trace.
+    pub fn finish(self) -> Result<TraceStats, String> {
+        let timeline = timeline::disable();
+        let trace = chrome_trace(&timeline);
+        let stats = validate_chrome_trace(&trace)?;
+        let json =
+            serde_json::to_string(&trace).map_err(|err| format!("encoding trace: {err:?}"))?;
+        std::fs::write(&self.path, json)
+            .map_err(|err| format!("writing {}: {err}", self.path.display()))?;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::SpanRecord;
+
+    fn sample_timeline() -> Timeline {
+        Timeline {
+            records: vec![
+                SpanRecord {
+                    lane: 0,
+                    label: "bench.graph_build".to_owned(),
+                    chunk: None,
+                    start_ns: 1_000,
+                    dur_ns: 9_000,
+                },
+                SpanRecord {
+                    lane: 1,
+                    label: "bench.graph_build/chunk".to_owned(),
+                    chunk: Some(0),
+                    start_ns: 2_000,
+                    dur_ns: 3_000,
+                },
+                SpanRecord {
+                    lane: 2,
+                    label: "bench.graph_build/chunk".to_owned(),
+                    chunk: Some(1),
+                    start_ns: 2_500,
+                    dur_ns: 3_500,
+                },
+            ],
+            lanes: vec![0, 1, 2],
+        }
+    }
+
+    #[test]
+    fn rendered_trace_validates_with_expected_counts() {
+        let trace = chrome_trace(&sample_timeline());
+        let stats = validate_chrome_trace(&trace).expect("valid trace");
+        assert_eq!(stats.intervals, 3);
+        assert_eq!(stats.worker_tracks, 2);
+    }
+
+    #[test]
+    fn trace_json_round_trips_through_text() {
+        let trace = chrome_trace(&sample_timeline());
+        let text = serde_json::to_string(&trace).expect("encode");
+        let parsed: Value = serde_json::from_str(&text).expect("parse");
+        let stats = validate_chrome_trace(&parsed).expect("valid after round trip");
+        assert_eq!(stats.intervals, 3);
+        assert_eq!(stats.worker_tracks, 2);
+    }
+
+    #[test]
+    fn chunk_indexes_land_in_args() {
+        let trace = chrome_trace(&sample_timeline());
+        let Ok(Value::Array(events)) = trace.field("traceEvents") else {
+            panic!("no traceEvents array");
+        };
+        let chunked: Vec<u64> = events
+            .iter()
+            .filter_map(|e| e.field("args").ok())
+            .filter_map(|args| args.field("chunk").ok())
+            .filter_map(|chunk| chunk.as_u64().ok())
+            .collect();
+        assert_eq!(chunked, vec![0, 1]);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_documents() {
+        // Not an object at top level.
+        assert!(validate_chrome_trace(&Value::Array(vec![])).is_err());
+        // An X event missing its duration.
+        let broken = object(vec![(
+            "traceEvents",
+            Value::Array(vec![object(vec![
+                ("name", Value::Str("x".to_owned())),
+                ("ph", Value::Str("X".to_owned())),
+                ("ts", Value::Float(1.0)),
+                ("pid", Value::UInt(1)),
+                ("tid", Value::UInt(1)),
+            ])]),
+        )]);
+        let err = validate_chrome_trace(&broken).expect_err("missing dur must fail");
+        assert!(err.contains("dur"), "unexpected error: {err}");
+        // An unsupported phase letter.
+        let bad_phase = object(vec![(
+            "traceEvents",
+            Value::Array(vec![object(vec![
+                ("name", Value::Str("x".to_owned())),
+                ("ph", Value::Str("B".to_owned())),
+                ("pid", Value::UInt(1)),
+            ])]),
+        )]);
+        assert!(validate_chrome_trace(&bad_phase).is_err());
+        // A negative timestamp.
+        let negative = object(vec![(
+            "traceEvents",
+            Value::Array(vec![object(vec![
+                ("name", Value::Str("x".to_owned())),
+                ("ph", Value::Str("X".to_owned())),
+                ("ts", Value::Float(-1.0)),
+                ("dur", Value::Float(1.0)),
+                ("pid", Value::UInt(1)),
+                ("tid", Value::UInt(1)),
+            ])]),
+        )]);
+        assert!(validate_chrome_trace(&negative).is_err());
+    }
+
+    #[test]
+    fn sink_writes_a_validated_file() {
+        // The sink drives the process-global timeline recorder.
+        let _guard = crate::global_registry_test_lock();
+        let dir = std::env::temp_dir().join("prvm_obs_trace_sink_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("trace.json");
+        let sink = TraceSink::start(&path);
+        let t0 = std::time::Instant::now();
+        {
+            let _lane = timeline::enter_lane(1);
+            timeline::record("test/chunk", Some(0), t0, std::time::Instant::now());
+        }
+        {
+            let _lane = timeline::enter_lane(2);
+            timeline::record("test/chunk", Some(1), t0, std::time::Instant::now());
+        }
+        let stats = sink.finish().expect("finish");
+        assert_eq!(stats.worker_tracks, 2);
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let parsed: Value = serde_json::from_str(&text).expect("parse");
+        validate_chrome_trace(&parsed).expect("file contents validate");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,10 +1,12 @@
 //! Deterministic data parallelism for the PageRankVM workspace.
 //!
 //! This crate is the workspace's only threading substrate for CPU-bound
-//! work (the testbed's node agents are actors, a different shape). It is
-//! dependency-free — no rayon, matching the vendored/offline dependency
-//! policy — and built entirely on [`std::thread::scope`], so it contains
-//! no `unsafe` and no global executor state beyond one atomic.
+//! work (the testbed's node agents are actors, a different shape). It
+//! has no external dependencies — no rayon, matching the vendored/
+//! offline dependency policy; its only workspace dependency is
+//! `prvm-obs`, whose opt-in timeline recorder the pool feeds — and it
+//! is built entirely on [`std::thread::scope`], so it contains no
+//! `unsafe` and no global executor state beyond one atomic.
 //!
 //! # The determinism contract
 //!
@@ -23,6 +25,18 @@
 //! sweep go parallel while the golden f64 bit-pattern tests stay green
 //! (see DESIGN.md §10).
 //!
+//! # Profiling
+//!
+//! When the `prvm-obs` timeline recorder is enabled (`--trace`), every
+//! chunk a worker claims is recorded as `(lane, label, chunk, start,
+//! end)` — label is the enclosing span path plus `/chunk` — and each
+//! spawned worker additionally records its whole lifetime on its lane,
+//! so a worker that claimed zero chunks still shows up as a track.
+//! Recording is observation-only: it never changes chunk boundaries or
+//! stitch order, so the determinism contract is untouched; when the
+//! recorder is off, the pool's only overhead is one relaxed atomic
+//! load per combinator call.
+//!
 //! # Example
 //!
 //! ```
@@ -38,6 +52,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Global worker-count override: 0 means "not set, use the hardware
 /// default". Set once at process start by CLI `--threads` flags.
@@ -123,28 +138,76 @@ impl Pool {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        // Timeline recording is observation-only: chunk claiming and
+        // result stitching are identical whether it is on or off.
+        let profiling = prvm_obs::timeline::is_enabled();
+        let chunk_label = if profiling {
+            let path = prvm_obs::span::current_path().unwrap_or_else(|| "par".to_owned());
+            format!("{path}/chunk")
+        } else {
+            String::new()
+        };
         if self.threads == 1 || n_chunks <= 1 {
-            return (0..n_chunks).map(work).collect();
+            if !profiling {
+                return (0..n_chunks).map(work).collect();
+            }
+            // Inline on the caller's lane (0 unless nested in a worker).
+            return (0..n_chunks)
+                .map(|c| {
+                    let t0 = Instant::now();
+                    let r = work(c);
+                    prvm_obs::timeline::record(&chunk_label, Some(c as u64), t0, Instant::now());
+                    r
+                })
+                .collect();
         }
+        let worker_label = chunk_label
+            .strip_suffix("chunk")
+            .map(|prefix| format!("{prefix}worker"))
+            .unwrap_or_default();
         let cursor = AtomicUsize::new(0);
         let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n_chunks));
         let workers = self.threads.min(n_chunks);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let c = cursor.fetch_add(1, Ordering::Relaxed);
-                    if c >= n_chunks {
-                        break;
+            for w in 0..workers {
+                let cursor = &cursor;
+                let results = &results;
+                let work = &work;
+                let chunk_label = &chunk_label;
+                let worker_label = &worker_label;
+                scope.spawn(move || {
+                    // Lane 0 is the orchestrating thread; workers take
+                    // 1..=workers. Entering the lane registers the track
+                    // even if this worker ends up claiming zero chunks.
+                    let _lane = profiling.then(|| prvm_obs::timeline::enter_lane(w as u32 + 1));
+                    let spawned = Instant::now();
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let t0 = Instant::now();
+                        let r = work(c);
+                        if profiling {
+                            prvm_obs::timeline::record(
+                                chunk_label,
+                                Some(c as u64),
+                                t0,
+                                Instant::now(),
+                            );
+                        }
+                        // A poisoned lock only means another worker panicked
+                        // mid-push; the scope will re-raise that panic after
+                        // join, so recovering the guard here is sound.
+                        let mut guard = match results.lock() {
+                            Ok(guard) => guard,
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
+                        guard.push((c, r));
                     }
-                    let r = work(c);
-                    // A poisoned lock only means another worker panicked
-                    // mid-push; the scope will re-raise that panic after
-                    // join, so recovering the guard here is sound.
-                    let mut guard = match results.lock() {
-                        Ok(guard) => guard,
-                        Err(poisoned) => poisoned.into_inner(),
-                    };
-                    guard.push((c, r));
+                    if profiling {
+                        prvm_obs::timeline::record(worker_label, None, spawned, Instant::now());
+                    }
                 });
             }
         });
@@ -306,6 +369,47 @@ mod tests {
         set_global_threads(0);
         assert!(global_threads() >= 1);
         set_global_threads(before);
+    }
+
+    /// Single test owning the process-global timeline recorder inside
+    /// this test binary (the other tests never enable it): a 2-thread
+    /// run must produce at least two worker lanes, per-chunk records
+    /// labelled from the enclosing span path, and — recorder on or off —
+    /// bit-identical results.
+    #[test]
+    fn timeline_records_worker_lanes_without_changing_results() {
+        let items: Vec<u64> = (0..4096).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(31)).collect();
+        prvm_obs::timeline::enable();
+        let got = {
+            let _span = prvm_obs::Span::enter("par_timeline_test");
+            Pool::new(2).map(&items, |&x| x.wrapping_mul(31))
+        };
+        let timeline = prvm_obs::timeline::disable();
+        assert_eq!(got, expect, "profiling must not change results");
+        assert!(
+            timeline.worker_lanes().len() >= 2,
+            "2-thread run produced lanes {:?}",
+            timeline.lanes
+        );
+        let chunk_records: Vec<_> = timeline
+            .records
+            .iter()
+            .filter(|r| r.label == "par_timeline_test/chunk")
+            .collect();
+        // 4096 items -> chunk_size 64 -> 64 chunks, each recorded once.
+        assert_eq!(chunk_records.len(), 64);
+        assert!(chunk_records.iter().all(|r| r.lane >= 1));
+        let mut chunks: Vec<u64> = chunk_records.iter().filter_map(|r| r.chunk).collect();
+        chunks.sort_unstable();
+        assert_eq!(chunks, (0..64).collect::<Vec<u64>>());
+        // Every spawned worker also records its lifetime on its lane.
+        let worker_records = timeline
+            .records
+            .iter()
+            .filter(|r| r.label == "par_timeline_test/worker")
+            .count();
+        assert_eq!(worker_records, 2);
     }
 
     #[test]

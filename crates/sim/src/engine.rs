@@ -307,8 +307,16 @@ fn simulate_impl(
     let mut recovery_time_s = 0u64;
     let mut pending_evacs: Vec<PendingEvac> = Vec::new();
 
+    // Per-scan profile series: wall time paired with the scan's virtual
+    // time, so a profiling run can line wall-clock cost up against the
+    // simulated clock. Handles are resolved once, outside the loop.
+    let registry = prvm_obs::Registry::global();
+    let scan_wall_series = registry.series("sim.scan.wall_ms");
+    let scan_virtual_series = registry.series("sim.scan.virtual_time_s");
+
     for t in 0..scans {
         let _scan_span = Span::enter("scan");
+        let scan_started = std::time::Instant::now();
         let pm_failures_before = pm_failures;
         let evacuations_before = evacuations;
         let failed_migrations_before = failed_migrations;
@@ -599,6 +607,8 @@ fn simulate_impl(
                 failed_migrations: failed_migrations - failed_migrations_before,
             });
         }
+        scan_wall_series.push(scan_started.elapsed().as_secs_f64() * 1e3);
+        scan_virtual_series.push(convert::usize_to_f64(t) * sim.scan_interval_s as f64);
     }
 
     let outcome = SimOutcome {
@@ -804,6 +814,35 @@ mod tests {
         assert!((pct - traced.slo_violation_pct).abs() < 1e-9);
         let energy: f64 = ts.samples().iter().map(|s| s.energy_wh).sum();
         assert!((energy / 1000.0 - traced.energy_kwh).abs() < 1e-9);
+    }
+
+    /// Every scan pushes one (wall ms, virtual s) pair into the global
+    /// registry's profile series. Other tests in this process also run
+    /// scans concurrently, so only growth is asserted, not exact
+    /// contents.
+    #[test]
+    fn scan_loop_records_virtual_time_series() {
+        let registry = prvm_obs::Registry::global();
+        let wall = registry.series("sim.scan.wall_ms");
+        let virtual_time = registry.series("sim.scan.virtual_time_s");
+        let wall_before = wall.len();
+        let virtual_before = virtual_time.len();
+        let (sim, _) = small_cfg();
+        run(11);
+        assert!(
+            wall.len() >= wall_before + sim.scans(),
+            "wall series grew {} < {} scans",
+            wall.len() - wall_before,
+            sim.scans()
+        );
+        assert!(virtual_time.len() >= virtual_before + sim.scans());
+        // Virtual timestamps are whole seconds >= 0 (scan * interval);
+        // wall times are finite and non-negative.
+        assert!(virtual_time
+            .values()
+            .iter()
+            .all(|v| *v >= 0.0 && v.fract() == 0.0));
+        assert!(wall.values().iter().all(|v| v.is_finite() && *v >= 0.0));
     }
 
     #[test]

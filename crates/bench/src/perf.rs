@@ -27,6 +27,7 @@ pub const STAGES: [&str; 4] = ["graph_build", "pagerank", "placement", "end_to_e
 
 /// Command-line options of `pagerankvm bench` / the `perf` binary.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use]
 pub struct PerfArgs {
     /// VM counts for the placement stages (paper scale: 1000–3000).
     pub vms: Vec<usize>,
@@ -147,7 +148,6 @@ impl PerfArgs {
 
     /// Parse the process arguments (skipping argv\[0\]), exiting with the
     /// usage message on malformed flags.
-    #[must_use]
     pub fn from_env() -> Self {
         Self::try_parse(std::env::args().skip(1)).unwrap_or_else(|message| {
             eprintln!("{message}");

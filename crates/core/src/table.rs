@@ -11,11 +11,11 @@ use crate::graph::{ix, GraphError, GraphLimits, ProfileGraph};
 use crate::pagerank::{pagerank, PageRankConfig, PageRankResult};
 use crate::profile::{Profile, ProfileSpace, ProfileVm};
 use prvm_model::{Pm, PmSpec, Quantizer, VmSpec};
-use std::collections::HashMap;
 
 /// Final per-profile scores for one PM type:
 /// `PR(P_i) * BPRU(P_i)` (Algorithm 1, line 19).
 #[derive(Debug, Clone)]
+#[must_use]
 pub struct ScoreTable {
     graph: ProfileGraph,
     scores: Vec<f64>,
@@ -127,10 +127,15 @@ impl ScoreTable {
 
 /// One score table per PM type, plus the quantizer, shared by the placer
 /// and the eviction policy.
+/// Tables are stored in first-seen `pm_specs` order (not a hash map), so
+/// every iteration over the book is deterministic — a D001 requirement:
+/// the book sits on the placement path and downstream audits/reports
+/// walk it.
 #[derive(Debug)]
+#[must_use]
 pub struct ScoreBook {
     quantizer: Quantizer,
-    tables: HashMap<PmSpec, ScoreTable>,
+    tables: Vec<(PmSpec, ScoreTable)>,
 }
 
 impl ScoreBook {
@@ -150,9 +155,9 @@ impl ScoreBook {
         limits: GraphLimits,
     ) -> Result<Self, GraphError> {
         let _span = prvm_obs::Span::enter("score_book");
-        let mut tables = HashMap::new();
+        let mut tables: Vec<(PmSpec, ScoreTable)> = Vec::new();
         for pm in pm_specs {
-            if tables.contains_key(pm) {
+            if tables.iter().any(|(spec, _)| spec == pm) {
                 continue;
             }
             let qpm = quantizer.quantize_pm(pm);
@@ -162,7 +167,7 @@ impl ScoreBook {
                 .filter_map(|v| space.vm_demand(&quantizer.quantize_vm(v, pm)))
                 .collect();
             let table = ScoreTable::build(space, vms, config, limits)?;
-            tables.insert(pm.clone(), table);
+            tables.push((pm.clone(), table));
         }
         prvm_obs::event("score_book.built")
             .field("pm_types", tables.len())
@@ -176,15 +181,19 @@ impl ScoreBook {
         &self.quantizer
     }
 
-    /// The table for a PM type, if one was built.
+    /// The table for a PM type, if one was built. Linear scan: a book
+    /// holds one table per PM *type* (a handful), not per PM.
     #[must_use]
     pub fn table(&self, pm: &PmSpec) -> Option<&ScoreTable> {
-        self.tables.get(pm)
+        self.tables
+            .iter()
+            .find(|(spec, _)| spec == pm)
+            .map(|(_, t)| t)
     }
 
-    /// Iterate every `(PM type, table)` pair (order unspecified).
+    /// Iterate every `(PM type, table)` pair in first-seen build order.
     pub fn tables(&self) -> impl Iterator<Item = (&PmSpec, &ScoreTable)> {
-        self.tables.iter()
+        self.tables.iter().map(|(spec, t)| (spec, t))
     }
 
     /// Number of PM types covered.
@@ -203,7 +212,7 @@ impl ScoreBook {
     /// is unknown or the profile is outside the graph.
     #[must_use]
     pub fn score_pm(&self, pm: &Pm) -> Option<f64> {
-        let table = self.tables.get(pm.spec())?;
+        let table = self.table(pm.spec())?;
         let (cores, mem, disks) = self.quantizer.quantized_usage(pm);
         let profile = self.usage_profile(table.space(), &cores, mem, &disks);
         table.score(&profile)

@@ -67,6 +67,7 @@ impl StallWindow {
 /// empty: nothing fails, and every consumer behaves exactly as if fault
 /// injection did not exist.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[must_use]
 pub struct FaultPlan {
     /// Seed for the hash-based probabilistic decisions.
     pub seed: u64,
@@ -85,7 +86,6 @@ pub struct FaultPlan {
 
 impl FaultPlan {
     /// The empty plan: injects nothing, guarantees byte-identical runs.
-    #[must_use]
     pub fn none() -> Self {
         Self::default()
     }
@@ -101,35 +101,30 @@ impl FaultPlan {
     }
 
     /// Set the hash seed (builder style).
-    #[must_use]
     pub fn seeded(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
     /// Schedule a PM crash (builder style).
-    #[must_use]
     pub fn with_pm_crash(mut self, pm: usize, at: usize, recover_at: Option<usize>) -> Self {
         self.pm_crashes.push(PmCrash { pm, at, recover_at });
         self
     }
 
     /// Set the per-attempt migration failure probability (builder style).
-    #[must_use]
     pub fn with_migration_failures(mut self, prob: f64) -> Self {
         self.migration_failure_prob = prob.clamp(0.0, 1.0);
         self
     }
 
     /// Set the per-read trace corruption probability (builder style).
-    #[must_use]
     pub fn with_trace_corruption(mut self, prob: f64) -> Self {
         self.trace_corruption_prob = prob.clamp(0.0, 1.0);
         self
     }
 
     /// Kill a node agent's thread at a tick (builder style).
-    #[must_use]
     pub fn with_agent_kill(mut self, node: usize, at_tick: usize) -> Self {
         self.agent_faults.push((
             node,
@@ -143,7 +138,6 @@ impl FaultPlan {
 
     /// Stall a node agent for `ticks` ticks starting at `from` (builder
     /// style).
-    #[must_use]
     pub fn with_agent_stall(mut self, node: usize, from: usize, ticks: usize) -> Self {
         self.agent_faults.push((
             node,
@@ -237,7 +231,6 @@ impl<'a> FaultClock<'a> {
     }
 
     /// The underlying plan.
-    #[must_use]
     pub fn plan(&self) -> &FaultPlan {
         self.plan
     }

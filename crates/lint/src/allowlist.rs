@@ -8,15 +8,18 @@
 //!
 //! Fields: rule id, file path (suffix match), a substring of the offending
 //! source line (robust to line-number drift), and a mandatory one-line
-//! reason. An entry suppresses every finding it matches; unused entries
-//! are reported so the file cannot accumulate stale exceptions.
+//! reason. An entry suppresses every finding it matches. Entries that
+//! match nothing are **errors** (see [`stale`]) so the file cannot
+//! accumulate dead exceptions — `--allow-stale` downgrades them to
+//! warnings for mid-refactor runs. Duplicate entries are rejected at
+//! parse time.
 
 use crate::rules::Finding;
 
 /// One parsed allowlist entry.
 #[derive(Debug)]
 pub struct Entry {
-    /// Rule id the entry applies to (`L001` … `L005`).
+    /// Rule id the entry applies to (`L001` … `L008`, `D…`, `P…`).
     pub rule: String,
     /// Path suffix the finding's file must match.
     pub file: String,
@@ -30,7 +33,32 @@ pub struct Entry {
     pub hits: usize,
 }
 
-/// Parse the allowlist text. Returns entries or a parse error message.
+/// Parse one `RULE | file | substring | reason` line (`n` is 1-based).
+pub fn parse_entry(line: &str, n: usize) -> Result<Entry, String> {
+    let parts: Vec<&str> = line.split('|').map(str::trim).collect();
+    if parts.len() != 4 {
+        return Err(format!(
+            "lint.toml:{n}: expected `RULE | file | line-substring | reason`, got {} field(s)",
+            parts.len()
+        ));
+    }
+    if parts.iter().any(|p| p.is_empty()) {
+        return Err(format!(
+            "lint.toml:{n}: all four fields (including the reason) must be non-empty"
+        ));
+    }
+    Ok(Entry {
+        rule: parts[0].to_string(),
+        file: parts[1].to_string(),
+        contains: parts[2].to_string(),
+        reason: parts[3].to_string(),
+        line: n,
+        hits: 0,
+    })
+}
+
+/// Parse allowlist-only text (entries and comments, no config sections).
+#[cfg(test)]
 pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
     let mut entries = Vec::new();
     for (n, raw) in text.lines().enumerate() {
@@ -38,30 +66,26 @@ pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let parts: Vec<&str> = line.split('|').map(str::trim).collect();
-        if parts.len() != 4 {
-            return Err(format!(
-                "lint.toml:{}: expected `RULE | file | line-substring | reason`, got {} field(s)",
-                n + 1,
-                parts.len()
-            ));
-        }
-        if parts.iter().any(|p| p.is_empty()) {
-            return Err(format!(
-                "lint.toml:{}: all four fields (including the reason) must be non-empty",
-                n + 1
-            ));
-        }
-        entries.push(Entry {
-            rule: parts[0].to_string(),
-            file: parts[1].to_string(),
-            contains: parts[2].to_string(),
-            reason: parts[3].to_string(),
-            line: n + 1,
-            hits: 0,
-        });
+        entries.push(parse_entry(line, n + 1)?);
     }
+    check_duplicates(&entries)?;
     Ok(entries)
+}
+
+/// Reject entries whose (rule, file, substring) triple repeats: the
+/// second copy can only ever be stale.
+pub fn check_duplicates(entries: &[Entry]) -> Result<(), String> {
+    for (i, a) in entries.iter().enumerate() {
+        for b in &entries[i + 1..] {
+            if a.rule == b.rule && a.file == b.file && a.contains == b.contains {
+                return Err(format!(
+                    "lint.toml:{}: duplicate of entry at line {} ({} | {} | {})",
+                    b.line, a.line, a.rule, a.file, a.contains
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// True (and records the hit) if some entry covers `finding`.
@@ -78,6 +102,12 @@ pub fn allows(entries: &mut [Entry], finding: &Finding) -> bool {
     false
 }
 
+/// Entries that suppressed nothing this run — each one is a dead
+/// exception and (without `--allow-stale`) an error.
+pub fn stale(entries: &[Entry]) -> Vec<&Entry> {
+    entries.iter().filter(|e| e.hits == 0).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +119,7 @@ mod tests {
             line: 1,
             excerpt: excerpt.to_string(),
             hint: "",
+            detail: String::new(),
         }
     }
 
@@ -113,5 +144,49 @@ mod tests {
     fn rejects_malformed_lines() {
         assert!(parse("L001 | file | substring\n").is_err());
         assert!(parse("L001 | file | substring | \n").is_err());
+    }
+
+    #[test]
+    fn used_entries_are_not_stale() {
+        let mut entries = parse("L004 | graph.rs | nodes[ix(id)] | audited\n").unwrap();
+        let f = finding("L004", "crates/core/src/graph.rs", "&self.nodes[ix(id)]");
+        assert!(allows(&mut entries, &f));
+        assert!(stale(&entries).is_empty());
+    }
+
+    #[test]
+    fn unused_entries_are_stale() {
+        let mut entries = parse(
+            "L004 | graph.rs | nodes[ix(id)] | audited\n\
+             L004 | graph.rs | long_gone_line | removed in a refactor\n",
+        )
+        .unwrap();
+        let f = finding("L004", "crates/core/src/graph.rs", "&self.nodes[ix(id)]");
+        assert!(allows(&mut entries, &f));
+        let dead = stale(&entries);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].contains, "long_gone_line");
+        assert_eq!(dead[0].line, 2);
+    }
+
+    #[test]
+    fn duplicate_entries_are_a_parse_error() {
+        let err = parse(
+            "L004 | graph.rs | nodes[ix(id)] | audited\n\
+             L004 | graph.rs | nodes[ix(id)] | audited again\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("duplicate"), "got: {err}");
+        assert!(err.contains("lint.toml:2"), "got: {err}");
+    }
+
+    #[test]
+    fn same_substring_for_different_rules_is_not_duplicate() {
+        let entries = parse(
+            "L004 | graph.rs | nodes[ix(id)] | audited indexing\n\
+             P001 | graph.rs | nodes[ix(id)] | audited panic surface\n",
+        )
+        .unwrap();
+        assert_eq!(entries.len(), 2);
     }
 }

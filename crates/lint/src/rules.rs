@@ -39,6 +39,9 @@ pub struct Finding {
     pub excerpt: String,
     /// Actionable fix hint.
     pub hint: &'static str,
+    /// Rule-specific context, e.g. the offending call chain for P001.
+    /// Empty for the line-local rules.
+    pub detail: String,
 }
 
 const NUMERIC_TYPES: [&str; 15] = [
@@ -99,6 +102,7 @@ fn push(
         line: n + 1,
         excerpt: file.lines[n].raw.trim().to_string(),
         hint,
+        detail: String::new(),
     });
 }
 
@@ -406,14 +410,10 @@ fn doc_block_mentions_panics(file: &SourceFile, n: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scan::mask;
 
     fn file(rel: &str, src: &str) -> SourceFile {
-        SourceFile {
-            rel: rel.to_string(),
-            is_bin: false,
-            lines: mask(src),
-        }
+        let krate = crate_of(rel).to_string();
+        SourceFile::scan(rel.to_string(), krate, false, src)
     }
 
     fn rules_fired(rel: &str, src: &str) -> Vec<String> {

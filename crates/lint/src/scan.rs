@@ -1,11 +1,13 @@
-//! Source masking: strip comments and literal contents while preserving
-//! line structure, and mark `#[cfg(test)]`-gated regions.
+//! Masked-line view of a source file, built on the lossless lexer.
 //!
-//! The scanner is deliberately lexical, not a full parser: it tracks just
-//! enough state (strings, raw strings, char literals vs. lifetimes, nested
-//! block comments, line/doc comments) to let the rules in `rules.rs`
-//! pattern-match on *code* without tripping over comment or string text.
-//! It assumes rustfmt-canonical input, which CI enforces.
+//! Historically this module was a hand-rolled char state machine; it is
+//! now a thin projection of `lex.rs`: comments and literal contents are
+//! blanked to spaces (newlines survive, so line structure is exact) and
+//! everything else is passed through verbatim. The line-based rules
+//! L001–L007 in `rules.rs` pattern-match on the masked text exactly as
+//! before — the old path is subsumed, not duplicated.
+
+use crate::lex::{self, Kind, Token};
 
 /// One source line, in raw and code-only (masked) form.
 #[derive(Debug)]
@@ -26,165 +28,57 @@ pub struct Line {
 pub struct SourceFile {
     /// Path relative to the workspace root, with forward slashes.
     pub rel: String,
+    /// Crate directory name under `crates/` (e.g. `core`, `sim`).
+    pub krate: String,
     /// True for binary targets (`src/main.rs`, `src/bin/*`, or any file of
     /// a crate without `src/lib.rs`).
     pub is_bin: bool,
     /// Scanned lines, 0-indexed (line numbers in findings are 1-based).
     pub lines: Vec<Line>,
+    /// The lossless token stream the masking was derived from; the
+    /// item/call-graph layer builds its trees from this.
+    pub tokens: Vec<Token>,
 }
 
-#[derive(Clone, Copy, PartialEq)]
-enum State {
-    Code,
-    LineComment { doc: bool },
-    BlockComment { depth: usize },
-    Str,
-    RawStr { hashes: usize },
-    CharLit,
-}
-
-/// Mask `text` into per-line raw/code pairs.
-pub fn mask(text: &str) -> Vec<Line> {
-    let chars: Vec<char> = text.chars().collect();
-    let mut masked = String::with_capacity(text.len());
-    let mut doc_starts: Vec<usize> = Vec::new(); // offsets (in chars) where a doc comment begins
-    let mut state = State::Code;
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-        if c == '\n' {
-            // Newlines always survive masking; line comments end here.
-            if matches!(state, State::LineComment { .. }) {
-                state = State::Code;
-            }
-            masked.push('\n');
-            i += 1;
-            continue;
+impl SourceFile {
+    /// Scan `text` into masked lines plus the underlying token stream.
+    pub fn scan(rel: String, krate: String, is_bin: bool, text: &str) -> Self {
+        let tokens = lex::lex(text);
+        let lines = mask_tokens(text, &tokens);
+        SourceFile {
+            rel,
+            krate,
+            is_bin,
+            lines,
+            tokens,
         }
-        match state {
-            State::Code => {
-                if c == '/' && next == Some('/') {
-                    let third = chars.get(i + 2).copied();
-                    // `////...` separators are plain comments, not docs.
-                    let doc = (third == Some('/') && chars.get(i + 3).copied() != Some('/'))
-                        || third == Some('!');
-                    if doc {
-                        doc_starts.push(i);
-                    }
-                    state = State::LineComment { doc };
-                    masked.push(' ');
-                } else if c == '/' && next == Some('*') {
-                    state = State::BlockComment { depth: 1 };
-                    masked.push_str("  ");
-                    i += 2;
-                    continue;
-                } else if c == '"' {
-                    state = State::Str;
-                    masked.push(' ');
-                } else if (c == 'r' || c == 'b') && is_raw_string_start(&chars, i) {
-                    let (hashes, consumed) = raw_string_open(&chars, i);
-                    state = State::RawStr { hashes };
-                    for _ in 0..consumed {
-                        masked.push(' ');
-                    }
-                    i += consumed;
-                    continue;
-                } else if c == 'b' && next == Some('"') {
-                    state = State::Str;
-                    masked.push_str("  ");
-                    i += 2;
-                    continue;
-                } else if c == 'b' && next == Some('\'') {
-                    state = State::CharLit;
-                    masked.push_str("  ");
-                    i += 2;
-                    continue;
-                } else if c == '\'' {
-                    if char_literal_starts(&chars, i) {
-                        state = State::CharLit;
-                        masked.push(' ');
-                    } else {
-                        // Lifetime: keep the tick, the ident that follows is code.
-                        masked.push('\'');
-                    }
-                } else {
-                    masked.push(c);
-                }
-            }
-            State::LineComment { .. } => masked.push(' '),
-            State::BlockComment { depth } => {
-                if c == '*' && next == Some('/') {
-                    state = if depth == 1 {
-                        State::Code
-                    } else {
-                        State::BlockComment { depth: depth - 1 }
-                    };
-                    masked.push_str("  ");
-                    i += 2;
-                    continue;
-                }
-                if c == '/' && next == Some('*') {
-                    state = State::BlockComment { depth: depth + 1 };
-                    masked.push_str("  ");
-                    i += 2;
-                    continue;
-                }
-                masked.push(' ');
-            }
-            State::Str => {
-                if c == '\\' {
-                    masked.push_str("  ");
-                    i += 2;
-                    // An escaped newline keeps the string open; keep structure.
-                    if next == Some('\n') {
-                        masked.pop();
-                        masked.push('\n');
-                    }
-                    continue;
-                }
-                if c == '"' {
-                    state = State::Code;
-                }
-                masked.push(' ');
-            }
-            State::RawStr { hashes } => {
-                if c == '"' && closes_raw(&chars, i, hashes) {
-                    for _ in 0..=hashes {
-                        masked.push(' ');
-                    }
-                    i += 1 + hashes;
-                    state = State::Code;
-                    continue;
-                }
-                masked.push(' ');
-            }
-            State::CharLit => {
-                if c == '\\' {
-                    masked.push_str("  ");
-                    i += 2;
-                    continue;
-                }
-                if c == '\'' {
-                    state = State::Code;
-                }
-                masked.push(' ');
-            }
-        }
-        i += 1;
     }
+}
 
-    let doc_lines: std::collections::HashSet<usize> = {
-        let mut line_of = Vec::new();
-        let mut line = 0usize;
-        for &ch in &chars {
-            line_of.push(line);
-            if ch == '\n' {
-                line += 1;
+/// Mask `text` into per-line raw/code pairs (token-based).
+#[cfg(test)]
+pub fn mask(text: &str) -> Vec<Line> {
+    let tokens = lex::lex(text);
+    mask_tokens(text, &tokens)
+}
+
+fn mask_tokens(text: &str, tokens: &[Token]) -> Vec<Line> {
+    let mut masked = String::with_capacity(text.len());
+    let mut doc_lines = std::collections::BTreeSet::new();
+    for t in tokens {
+        let blank = t.kind.is_trivia() && t.kind != Kind::Whitespace || t.kind.is_literal_text();
+        if blank {
+            for c in t.text.chars() {
+                masked.push(if c == '\n' { '\n' } else { ' ' });
             }
+        } else {
+            masked.push_str(&t.text);
         }
-        doc_starts.iter().map(|&off| line_of[off]).collect()
-    };
+        if let Kind::LineComment { doc: true } | Kind::BlockComment { doc: true } = t.kind {
+            let span = t.text.matches('\n').count();
+            doc_lines.extend(t.line..=t.line + span);
+        }
+    }
 
     let mut lines: Vec<Line> = text
         .split('\n')
@@ -193,61 +87,12 @@ pub fn mask(text: &str) -> Vec<Line> {
         .map(|(n, (raw, code))| Line {
             raw: raw.to_string(),
             code: code.to_string(),
-            is_doc: doc_lines.contains(&n),
+            is_doc: doc_lines.contains(&(n + 1)),
             in_test: false,
         })
         .collect();
     mark_test_regions(&mut lines);
     lines
-}
-
-/// `r"`, `r#"`, `br"`, `br#"` … raw string openers.
-fn is_raw_string_start(chars: &[char], i: usize) -> bool {
-    let mut j = i;
-    if chars[j] == 'b' {
-        j += 1;
-    }
-    if chars.get(j).copied() != Some('r') {
-        return false;
-    }
-    // `r` must not be the tail of an identifier (`var"` is not valid Rust,
-    // but `for r in` must not trigger either — the quote check handles it).
-    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
-        return false;
-    }
-    j += 1;
-    while chars.get(j).copied() == Some('#') {
-        j += 1;
-    }
-    chars.get(j).copied() == Some('"')
-}
-
-/// Length of the raw-string opener (`r##"` → 4) and its hash count.
-fn raw_string_open(chars: &[char], i: usize) -> (usize, usize) {
-    let mut j = i;
-    if chars[j] == 'b' {
-        j += 1;
-    }
-    j += 1; // the `r`
-    let mut hashes = 0;
-    while chars.get(j).copied() == Some('#') {
-        hashes += 1;
-        j += 1;
-    }
-    (hashes, j + 1 - i) // include the opening quote
-}
-
-fn closes_raw(chars: &[char], i: usize, hashes: usize) -> bool {
-    (1..=hashes).all(|k| chars.get(i + k).copied() == Some('#'))
-}
-
-/// `'a'` and `'\n'` are char literals; `'a` (in `<'a>`) is a lifetime.
-fn char_literal_starts(chars: &[char], i: usize) -> bool {
-    match chars.get(i + 1).copied() {
-        Some('\\') => true,
-        Some(_) => chars.get(i + 2).copied() == Some('\''),
-        None => false,
-    }
 }
 
 /// Mark lines covered by a `#[cfg(test)]`-gated item (typically
@@ -334,6 +179,15 @@ mod tests {
         let c = codes("a /* outer /* inner */ still */ b.unwrap()\n");
         assert!(c[0].contains("b.unwrap()"));
         assert!(!c[0].contains("still"));
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_structure() {
+        let c = codes("let s = \"first\nsecond\"; done();\n");
+        assert_eq!(c.len(), 3);
+        assert!(!c[0].contains("first"));
+        assert!(!c[1].contains("second"));
+        assert!(c[1].contains("done();"));
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::time::Duration;
 
 /// Monotonic event count.
 #[derive(Debug, Default)]
+#[must_use]
 pub struct Counter(AtomicU64);
 
 impl Counter {
@@ -40,6 +41,7 @@ impl Counter {
 
 /// Last-write-wins floating point value (stored as bits in an atomic).
 #[derive(Debug, Default)]
+#[must_use]
 pub struct Gauge(AtomicU64);
 
 impl Gauge {
@@ -61,6 +63,7 @@ impl Gauge {
 /// An append-only sequence of observations, for values where the whole
 /// trajectory matters (e.g. per-iteration PageRank residuals).
 #[derive(Debug, Default)]
+#[must_use]
 pub struct Series(Mutex<Vec<f64>>);
 
 impl Series {
@@ -108,6 +111,7 @@ const BUCKETS: usize = 65;
 /// Log-scale histogram: bucket `0` holds zeros, bucket `i >= 1` holds
 /// values in `[2^(i-1), 2^i)`. Two atomic adds per record.
 #[derive(Debug)]
+#[must_use]
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
@@ -242,6 +246,7 @@ pub const SPAN_METRIC_PREFIX: &str = "span.";
 /// A namespace of metrics. Most code uses [`Registry::global`]; tests
 /// can build private registries.
 #[derive(Debug, Default)]
+#[must_use]
 pub struct Registry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,

@@ -132,6 +132,16 @@ impl Drop for LaneGuard {
     }
 }
 
+/// The sanctioned wall-clock read for timeline instrumentation in
+/// result-affecting crates (the D002 lint bans raw `Instant::now()`
+/// there). Pairs of stamps feed [`record`]; the stamp itself never
+/// influences results — chunk claiming and stitching are identical
+/// whether anyone looks at the clock.
+#[must_use]
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
 /// Record one completed interval on the current thread's lane. No-op
 /// while recording is disabled. `start`/`end` are wall-clock instants;
 /// they are stored as nanosecond offsets from the process epoch (the

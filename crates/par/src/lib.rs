@@ -52,7 +52,6 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 /// Global worker-count override: 0 means "not set, use the hardware
 /// default". Set once at process start by CLI `--threads` flags.
@@ -154,9 +153,14 @@ impl Pool {
             // Inline on the caller's lane (0 unless nested in a worker).
             return (0..n_chunks)
                 .map(|c| {
-                    let t0 = Instant::now();
+                    let t0 = prvm_obs::timeline::stamp();
                     let r = work(c);
-                    prvm_obs::timeline::record(&chunk_label, Some(c as u64), t0, Instant::now());
+                    prvm_obs::timeline::record(
+                        &chunk_label,
+                        Some(c as u64),
+                        t0,
+                        prvm_obs::timeline::stamp(),
+                    );
                     r
                 })
                 .collect();
@@ -180,20 +184,20 @@ impl Pool {
                     // 1..=workers. Entering the lane registers the track
                     // even if this worker ends up claiming zero chunks.
                     let _lane = profiling.then(|| prvm_obs::timeline::enter_lane(w as u32 + 1));
-                    let spawned = Instant::now();
+                    let spawned = prvm_obs::timeline::stamp();
                     loop {
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
                         if c >= n_chunks {
                             break;
                         }
-                        let t0 = Instant::now();
+                        let t0 = prvm_obs::timeline::stamp();
                         let r = work(c);
                         if profiling {
                             prvm_obs::timeline::record(
                                 chunk_label,
                                 Some(c as u64),
                                 t0,
-                                Instant::now(),
+                                prvm_obs::timeline::stamp(),
                             );
                         }
                         // A poisoned lock only means another worker panicked
@@ -206,7 +210,12 @@ impl Pool {
                         guard.push((c, r));
                     }
                     if profiling {
-                        prvm_obs::timeline::record(worker_label, None, spawned, Instant::now());
+                        prvm_obs::timeline::record(
+                            worker_label,
+                            None,
+                            spawned,
+                            prvm_obs::timeline::stamp(),
+                        );
                     }
                 });
             }

@@ -316,7 +316,9 @@ fn simulate_impl(
 
     for t in 0..scans {
         let _scan_span = Span::enter("scan");
-        let scan_started = std::time::Instant::now();
+        // The sanctioned clock read (D002): scan timing feeds the wall-ms
+        // series only, never the simulated clock or placement decisions.
+        let scan_started = prvm_obs::timeline::stamp();
         let pm_failures_before = pm_failures;
         let evacuations_before = evacuations;
         let failed_migrations_before = failed_migrations;
@@ -442,7 +444,13 @@ fn simulate_impl(
             let core = pm.spec().core_mhz;
             let mut demand = Mhz::ZERO;
             for (id, _, _) in pm.vms() {
-                let (vcpus, vcpu_mhz, trace) = &vm_demand[&id];
+                // Every placed VM was registered in vm_demand up front;
+                // a miss would be an accounting bug, so skip-and-assert
+                // rather than panic (P001).
+                let Some((vcpus, vcpu_mhz, trace)) = vm_demand.get(&id) else {
+                    debug_assert!(false, "VM {id:?} placed but absent from vm_demand");
+                    continue;
+                };
                 // A corrupted read replaces the recorded utilization with
                 // deterministic garbage (no-op without a fault plan).
                 let util = clock
@@ -475,7 +483,11 @@ fn simulate_impl(
             .used_pms()
             .filter(|pm_id| {
                 let cap = cluster.pm(*pm_id).spec().total_cpu();
-                pm_demand[pm_id].fraction_of(cap) > sim.overload_threshold
+                // Populated for every used PM in the scan loop above; a
+                // missing entry means zero demand, never overload.
+                pm_demand
+                    .get(pm_id)
+                    .is_some_and(|d| d.fraction_of(cap) > sim.overload_threshold)
             })
             .collect();
         if !overloaded.is_empty() {
@@ -489,7 +501,10 @@ fn simulate_impl(
         for src in overloaded {
             loop {
                 let cap = cluster.pm(src).spec().total_cpu();
-                let current = pm_demand[&src];
+                let Some(current) = pm_demand.get(&src).copied() else {
+                    debug_assert!(false, "overloaded PM {src:?} absent from pm_demand");
+                    break;
+                };
                 if current.fraction_of(cap) <= sim.overload_threshold || cluster.pm(src).is_empty()
                 {
                     break;

@@ -1,0 +1,11 @@
+//! `loadgen` binary: drive a running `prvm-serve` daemon with the
+//! deterministic closed-loop workload and report throughput + latency
+//! percentiles (optionally merged into `BENCH_PRVM.json`).
+
+fn main() {
+    let args = prvm_bench::loadgen::LoadGenArgs::from_env();
+    if let Err(message) = prvm_bench::loadgen::main_with(&args) {
+        eprintln!("loadgen: {message}");
+        std::process::exit(1);
+    }
+}

@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod loadgen;
 pub mod perf;
 
 use prvm_sim::{Algorithm, MetricSummary, SimConfig};

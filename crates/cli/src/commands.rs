@@ -4,8 +4,9 @@ use pagerankvm::{
     audit, paths_to_best, rank_stats, top_profiles, AuditReport, GraphLimits, PageRankConfig,
     ProfileSpace, ProfileVm, ScoreTable,
 };
-use prvm_model::{catalog, Assignment};
+use prvm_model::{catalog, Assignment, Quantizer};
 use prvm_obs::{LogMode, ObsConfig, Registry, Span};
+use prvm_serve::{CatalogSpec, Client, IoChaosOutcome, Server, ServerConfig, Store};
 use prvm_sim::{
     build_cluster, simulate_faulty, simulate_traced, simulate_with_audit, Algorithm, FaultPlan,
     SimConfig, Workload, WorkloadConfig,
@@ -31,11 +32,32 @@ commands:
             optionally dump the per-scan time series as CSV
   testbed   --jobs N [--algo NAME] [--seed N] [--minutes M]
             run the emulated GENI testbed
-  chaos     [--vms N] [--seed N] [--scans N]
-            run the seeded fault-injection matrix — every paper algorithm
-            against every fault preset (none, pm-crash, flaky-migrations,
-            trace-noise, all) — and print a comparison table; faults are
-            strictly opt-in, so the `none` row equals a plain simulate
+  chaos     [--target sim|serve] [--vms N] [--seed N] [--scans N]
+            [--requests N]
+            run the seeded fault-injection matrix and print a comparison
+            table. --target sim (default): every paper algorithm against
+            every simulator fault preset (none, pm-crash,
+            flaky-migrations, trace-noise, all); faults are strictly
+            opt-in, so the `none` row equals a plain simulate.
+            --target serve: drive the crash-safe daemon's state machine
+            through every I/O fault preset (short-io, disk-full,
+            bit-rot, torn-write, lost-sync, ghost-ack) for --requests
+            scripted ops each, proving recovery digests match after
+            every injected crash
+  serve     --store DIR [--addr HOST:PORT] [--pms N] [--queue N]
+            [--deadline-ms N] [--compact-every N] [--coarse]
+            run the placement daemon: framed-TCP protocol, checksummed
+            write-ahead journal in --store, bounded admission queue,
+            per-request deadlines; SIGTERM/SIGINT drains gracefully
+            (finish admitted work, cut a final snapshot, exit).
+            --coarse uses a low-resolution score book (fast start; for
+            smoke tests)
+  serve-req OP [ARG] [--addr HOST:PORT] [--deadline-ms N]
+            one-shot client for a running daemon. OP is one of:
+            place TYPE | evict ID | migrate ID | stats | state |
+            snapshot | drain. `stats` prints the full reply as JSON;
+            `state` prints only the journal-backed half (identical
+            across kill/restart — diff it in CI)
   report    FILE.jsonl [--format text|json]
             summarize a recorded event log: phase wall-time breakdown,
             PageRank convergence, event counts; --format json emits the
@@ -504,20 +526,66 @@ pub fn chaos_matrix(
     Ok(rows)
 }
 
+/// The daemon half of `pagerankvm chaos`: every I/O fault preset run
+/// through [`prvm_serve::run_io_chaos`] at the same seed.
+pub fn io_chaos_matrix(seed: u64, requests: usize) -> Result<Vec<IoChaosOutcome>, String> {
+    prvm_faults::IoFaultPlan::io_preset_names()
+        .iter()
+        .map(|preset| {
+            prvm_serve::run_io_chaos(preset, seed, requests).map_err(|e| format!("{preset}: {e}"))
+        })
+        .collect()
+}
+
+/// `pagerankvm chaos --target serve`: the I/O fault table.
+fn chaos_serve(seed: u64, requests: usize) -> Result<(), String> {
+    let rows = io_chaos_matrix(seed, requests)?;
+    println!(
+        "serve chaos: {} I/O fault presets x {requests} requests (seed {seed})",
+        rows.len()
+    );
+    println!(
+        "\n{:<12} {:>6} {:>6} {:>8} {:>7} {:>5} {:>6} {:>7} {:<16}",
+        "preset", "acked", "reject", "jrnl-err", "crashes", "lost", "ghost", "checks", "digest"
+    );
+    for row in &rows {
+        println!(
+            "{:<12} {:>6} {:>6} {:>8} {:>7} {:>5} {:>6} {:>7} {:<16}",
+            row.preset,
+            row.acked,
+            row.rejected,
+            row.journal_errors,
+            row.crashes,
+            row.lost_inflight,
+            row.ghost_acks,
+            row.digest_checks,
+            &row.final_digest[..row.final_digest.len().min(16)]
+        );
+    }
+    println!("\nevery crash recovery replayed to a digest-identical state");
+    Ok(())
+}
+
 /// `pagerankvm chaos`.
 pub fn chaos(args: &[String]) -> Result<(), String> {
     let f = flags(args)?;
     known(
         &f,
         &[
-            "vms", "seed", "scans", "threads", "log", "events", "metrics",
+            "target", "vms", "seed", "scans", "requests", "threads", "log", "events", "metrics",
         ],
     )?;
     let n: usize = parse(&f, "vms", 60)?;
     let seed: u64 = parse(&f, "seed", 42)?;
     let scans: usize = parse(&f, "scans", 48)?;
-    if n == 0 || scans == 0 {
-        return Err("--vms and --scans must be positive".into());
+    let requests: usize = parse(&f, "requests", 64)?;
+    if n == 0 || scans == 0 || requests == 0 {
+        return Err("--vms, --scans and --requests must be positive".into());
+    }
+    match value_of(&f, "target")?.unwrap_or("sim") {
+        "sim" => {}
+        "serve" => return chaos_serve(seed, requests),
+        other => return Err(format!("bad value for --target: {other} (sim|serve)")),
     }
     threads_setup(&f)?;
     let metrics = obs_setup(&f)?;
@@ -646,6 +714,132 @@ fn audit_self_test() -> Result<(), String> {
 pub fn bench(args: &[String]) -> Result<(), String> {
     let perf_args = prvm_bench::perf::PerfArgs::try_parse(args.iter().cloned())?;
     prvm_bench::perf::main_with(&perf_args)
+}
+
+/// Build the daemon's catalog: an EC2-mix cluster of `pms` machines,
+/// optionally at coarse profile resolution (fast score-book build for
+/// smoke tests; the daemon's durability contract is
+/// resolution-independent).
+fn serve_catalog(pms: usize, coarse: bool) -> CatalogSpec {
+    let spec = CatalogSpec::ec2(pms);
+    if coarse {
+        spec.with_quantizer(Quantizer {
+            core_slots: 2,
+            mem_levels: 4,
+            disk_levels: 2,
+        })
+    } else {
+        spec
+    }
+}
+
+/// `pagerankvm serve`: run the crash-safe placement daemon until a
+/// SIGTERM/SIGINT drain.
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let f = flags(args)?;
+    known(
+        &f,
+        &[
+            "store",
+            "addr",
+            "pms",
+            "queue",
+            "deadline-ms",
+            "compact-every",
+            "coarse",
+        ],
+    )?;
+    let Some(store_dir) = value_of(&f, "store")?.map(str::to_owned) else {
+        return Err("--store DIR is required (journal + snapshot directory)".into());
+    };
+    let addr = value_of(&f, "addr")?.unwrap_or("127.0.0.1:7791").to_owned();
+    let pms: usize = parse(&f, "pms", 16)?;
+    if pms == 0 {
+        return Err("--pms must be positive".into());
+    }
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        queue_capacity: parse(&f, "queue", defaults.queue_capacity)?,
+        default_deadline_ms: parse(&f, "deadline-ms", defaults.default_deadline_ms)?,
+        compact_every: parse(&f, "compact-every", defaults.compact_every)?,
+    };
+    let catalog_spec = serve_catalog(pms, has(&f, "coarse"));
+    std::fs::create_dir_all(&store_dir).map_err(|e| format!("--store {store_dir}: {e}"))?;
+    let store = Store::open(&store_dir).map_err(|e| format!("--store {store_dir}: {e}"))?;
+    let handle = Server::start(&catalog_spec, store, config, &addr).map_err(|e| e.to_string())?;
+    println!(
+        "prvm-serve listening on {} (store {store_dir}, {pms} PMs); SIGTERM drains",
+        handle.addr()
+    );
+    let stats = handle.drain_on_signals().map_err(|e| e.to_string())?;
+    println!(
+        "drained: {} requests ({} placed, {} evicted, {} migrated), {} shed, {} timeouts",
+        stats.requests, stats.placed, stats.evicted, stats.migrated, stats.shed, stats.timeouts
+    );
+    Ok(())
+}
+
+/// `pagerankvm serve-req OP [ARG]`: one-shot client for CI and shell
+/// scripting against a running daemon.
+pub fn serve_req(args: &[String]) -> Result<(), String> {
+    const USAGE: &str = "usage: pagerankvm serve-req OP [ARG] [--addr HOST:PORT] \
+                         [--deadline-ms N]\n  OP: place TYPE | evict ID | migrate ID | stats | \
+                         state | snapshot | drain";
+    let Some((op, rest)) = args.split_first().filter(|(op, _)| !op.starts_with("--")) else {
+        return Err(USAGE.into());
+    };
+    let (arg, rest) = match rest.split_first() {
+        Some((a, tail)) if !a.starts_with("--") => (Some(a.as_str()), tail),
+        _ => (None, rest),
+    };
+    let f = flags(rest)?;
+    known(&f, &["addr", "deadline-ms"])?;
+    let addr = value_of(&f, "addr")?.unwrap_or("127.0.0.1:7791");
+    let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    client.deadline_ms = parse(&f, "deadline-ms", client.deadline_ms)?;
+    let id = |arg: Option<&str>| -> Result<u64, String> {
+        arg.ok_or_else(|| format!("serve-req {op} needs a VM id\n{USAGE}"))?
+            .parse()
+            .map_err(|_| format!("serve-req {op}: VM id must be a number\n{USAGE}"))
+    };
+    match op.as_str() {
+        "place" => {
+            let ty = arg.ok_or_else(|| format!("serve-req place needs a VM type\n{USAGE}"))?;
+            let placed = client.place(ty).map_err(|e| e.to_string())?;
+            println!("placed vm {} ({ty}) on pm {}", placed.vm, placed.pm);
+        }
+        "evict" => {
+            let evicted = client.evict(id(arg)?).map_err(|e| e.to_string())?;
+            println!("evicted vm {} from pm {}", evicted.vm, evicted.pm);
+        }
+        "migrate" => {
+            let moved = client.migrate(id(arg)?).map_err(|e| e.to_string())?;
+            println!(
+                "migrated vm {} from pm {} to pm {}",
+                moved.vm, moved.from, moved.to
+            );
+        }
+        "stats" => {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            let json = serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?;
+            println!("{json}");
+        }
+        "state" => {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            let json = serde_json::to_string_pretty(&stats.state).map_err(|e| e.to_string())?;
+            println!("{json}");
+        }
+        "snapshot" => {
+            let version = client.snapshot().map_err(|e| e.to_string())?;
+            println!("snapshot version {version}");
+        }
+        "drain" => {
+            client.drain().map_err(|e| e.to_string())?;
+            println!("drain acknowledged");
+        }
+        other => return Err(format!("unknown serve-req op `{other}`\n{USAGE}")),
+    }
+    Ok(())
 }
 
 /// `pagerankvm report FILE.jsonl [--format text|json]`.
@@ -842,5 +1036,94 @@ mod tests {
     fn audit_self_test_fires_and_fails() {
         let err = audit(&s(&["--self-test"])).unwrap_err();
         assert!(err.contains("self-test OK"), "{err}");
+    }
+
+    /// The daemon chaos target runs every I/O preset deterministically:
+    /// two invocations at the same seed produce identical outcome rows,
+    /// the fault-free preset injects nothing, and the crash presets
+    /// actually crash and recover.
+    #[test]
+    fn serve_chaos_target_is_deterministic_and_crashes_recover() {
+        let a = io_chaos_matrix(7, 24).unwrap();
+        let b = io_chaos_matrix(7, 24).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), prvm_faults::IoFaultPlan::io_preset_names().len());
+        let none = &a[0];
+        assert_eq!(none.preset, "none");
+        assert_eq!(none.journal_errors, 0, "{none:?}");
+        assert_eq!(none.crashes, 0, "{none:?}");
+        for preset in ["torn-write", "lost-sync", "ghost-ack"] {
+            let row = a.iter().find(|r| r.preset == preset).unwrap();
+            assert!(row.crashes > 0, "{row:?}");
+            assert!(row.digest_checks > row.crashes, "{row:?}");
+        }
+        chaos(&s(&[
+            "--target",
+            "serve",
+            "--seed",
+            "7",
+            "--requests",
+            "24",
+        ]))
+        .unwrap();
+        let err = chaos(&s(&["--target", "cloud"])).unwrap_err();
+        assert!(err.contains("--target"), "{err}");
+        let err = chaos(&s(&["--target", "serve", "--requests", "0"])).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags_without_starting() {
+        let err = serve(&s(&[])).unwrap_err();
+        assert!(err.contains("--store"), "{err}");
+        let err = serve(&s(&["--store", "/tmp/x", "--pms", "0"])).unwrap_err();
+        assert!(err.contains("--pms"), "{err}");
+        let err = serve(&s(&["--store", "/tmp/x", "--qeue", "4"])).unwrap_err();
+        assert!(err.contains("unknown flag --qeue"), "{err}");
+    }
+
+    /// `serve-req` against a live daemon: every op round-trips, `state`
+    /// prints the journal-backed JSON the CI smoke job diffs, and typed
+    /// server errors surface as command errors.
+    #[test]
+    fn serve_req_drives_a_live_daemon() {
+        let dir = std::env::temp_dir().join(format!("prvm-cli-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = Store::open(&dir).unwrap();
+        let handle = Server::start(
+            &serve_catalog(6, true),
+            store,
+            ServerConfig::default(),
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let addr = handle.addr().to_string();
+
+        serve_req(&s(&["place", "m3.medium", "--addr", &addr])).unwrap();
+        serve_req(&s(&["place", "m3.large", "--addr", &addr])).unwrap();
+        serve_req(&s(&["migrate", "0", "--addr", &addr])).unwrap();
+        serve_req(&s(&["evict", "1", "--addr", &addr])).unwrap();
+        serve_req(&s(&["stats", "--addr", &addr])).unwrap();
+        serve_req(&s(&["state", "--addr", &addr])).unwrap();
+        serve_req(&s(&["snapshot", "--addr", &addr])).unwrap();
+        // A typed server error (eviction of a gone VM) is a CLI error.
+        let err = serve_req(&s(&["evict", "1", "--addr", &addr])).unwrap_err();
+        assert!(err.contains("UnknownVm"), "{err}");
+        // Malformed invocations never touch the wire.
+        assert!(serve_req(&s(&[])).unwrap_err().contains("usage"));
+        let err = serve_req(&s(&["place", "--addr", &addr])).unwrap_err();
+        assert!(err.contains("VM type"), "{err}");
+        let err = serve_req(&s(&["evict", "soon", "--addr", &addr])).unwrap_err();
+        assert!(err.contains("number"), "{err}");
+        let err = serve_req(&s(&["reboot", "--addr", &addr])).unwrap_err();
+        assert!(err.contains("unknown serve-req op"), "{err}");
+
+        serve_req(&s(&["drain", "--addr", &addr])).unwrap();
+        let stats = handle.join();
+        assert_eq!(stats.placed, 2);
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.migrated, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

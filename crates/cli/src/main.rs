@@ -5,7 +5,9 @@
 //! pagerankvm place --vms 200 [--algo pagerankvm|ff|ffdsum|compvm] [--seed N]
 //! pagerankvm simulate --vms 200 [--algo …] [--seed N] [--hours H] [--csv FILE]
 //! pagerankvm testbed --jobs 150 [--algo …] [--seed N]
-//! pagerankvm chaos [--vms N] [--seed N] [--scans N]
+//! pagerankvm chaos [--target sim|serve] [--vms N] [--seed N] [--scans N]
+//! pagerankvm serve --store DIR [--addr HOST:PORT] [--pms N] [--coarse]
+//! pagerankvm serve-req OP [ARG] [--addr HOST:PORT]
 //! pagerankvm report FILE.jsonl [--format text|json]
 //! pagerankvm audit [--vms N] [--algo …] [--seed N] [--hours H] [--self-test]
 //! pagerankvm bench [--vms a,b,c] [--threads a,b,c] [--repeats N] [--out FILE]
@@ -34,6 +36,8 @@ fn main() -> ExitCode {
         "simulate" => commands::simulate(rest),
         "testbed" => commands::testbed(rest),
         "chaos" => commands::chaos(rest),
+        "serve" => commands::serve(rest),
+        "serve-req" => commands::serve_req(rest),
         "report" => commands::report(rest),
         "audit" => commands::audit(rest),
         "bench" => commands::bench(rest),

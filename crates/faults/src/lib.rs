@@ -21,6 +21,10 @@
 
 #![warn(missing_docs)]
 
+pub mod io;
+
+pub use io::{CrashSite, FaultFile, IoCrash, IoFaultPlan, StorageFile};
+
 use serde::{Deserialize, Serialize};
 
 /// One scheduled PM failure: the PM crashes at the start of scan `at`
@@ -202,7 +206,7 @@ impl FaultPlan {
 }
 
 /// splitmix64 finalizer: a strong 64-bit mix.
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

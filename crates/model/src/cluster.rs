@@ -310,6 +310,20 @@ impl Cluster {
         }
     }
 
+    /// The id the next [`Cluster::place`] will allocate.
+    #[must_use]
+    pub fn next_vm_id(&self) -> u64 {
+        self.next_vm
+    }
+
+    /// Bump the fresh-id allocator to at least `next`. Recovery uses
+    /// this: a snapshot records the allocator watermark so that replay
+    /// never re-issues the id of a VM that was placed and later evicted
+    /// before the snapshot was cut.
+    pub fn reserve_vm_ids(&mut self, next: u64) {
+        self.next_vm = self.next_vm.max(next);
+    }
+
     /// Aggregate reserved-CPU utilization across *active* PMs
     /// (0.0 if none are active).
     #[must_use]

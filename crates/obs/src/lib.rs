@@ -122,6 +122,39 @@ macro_rules! gauge {
     }};
 }
 
+/// Record a value into a named histogram in the global [`Registry`],
+/// caching the handle per call site. Generation-aware exactly like
+/// [`counter!`]: the handle re-resolves after the global registry is
+/// swapped.
+///
+/// ```
+/// prvm_obs::histogram!("serve.request_latency_us", 1250u64);
+/// ```
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $value:expr) => {{
+        static CACHED: ::std::sync::Mutex<
+            ::std::option::Option<(u64, ::std::sync::Arc<$crate::Histogram>)>,
+        > = ::std::sync::Mutex::new(::std::option::Option::None);
+        let generation = $crate::Registry::generation();
+        let mut cached = CACHED
+            .lock()
+            .unwrap_or_else(::std::sync::PoisonError::into_inner);
+        match cached.as_ref() {
+            ::std::option::Option::Some((cached_generation, handle))
+                if *cached_generation == generation =>
+            {
+                handle.record($value as u64);
+            }
+            _ => {
+                let handle = $crate::Registry::global().histogram($name);
+                handle.record($value as u64);
+                *cached = ::std::option::Option::Some((generation, handle));
+            }
+        }
+    }};
+}
+
 /// Serializes unit tests that read or swap the global registry, so a
 /// swap in one test cannot redirect another test's recordings.
 #[cfg(test)]
@@ -139,6 +172,8 @@ mod tests {
         counter!("obs_lib_test.counter", 2);
         counter!("obs_lib_test.counter", 2);
         gauge!("obs_lib_test.gauge", 1.25);
+        histogram!("obs_lib_test.histogram", 10u64);
+        histogram!("obs_lib_test.histogram", 1000u64);
         assert_eq!(
             crate::Registry::global()
                 .counter("obs_lib_test.counter")
@@ -149,6 +184,9 @@ mod tests {
             crate::Registry::global().gauge("obs_lib_test.gauge").get(),
             1.25
         );
+        let hist = crate::Registry::global().histogram("obs_lib_test.histogram");
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.sum(), 1010);
     }
 
     /// Regression test for the stale-cache bug: a `counter!`/`gauge!`

@@ -1,0 +1,279 @@
+//! A blocking client for the daemon's framed wire protocol.
+//!
+//! One request in flight per connection: every call encodes a frame,
+//! writes it, then reads frames until the reply with the matching
+//! correlation id arrives. Shed and timeout replies surface as typed
+//! [`ClientError`] variants carrying the server's backoff guidance, so
+//! callers (the load generator, the chaos driver, the CLI) can retry
+//! deterministically instead of guessing.
+
+use crate::wire::{
+    DrainReq, EvictReq, EvictedResp, FrameDecoder, MigrateReq, MigratedResp, PlaceReq, PlacedResp,
+    ProtocolError, Request, Response, SnapshotReq, StatsReq, StatsResp,
+};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failures, all typed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket failure (connect, read, write, or server hang-up).
+    Io(io::Error),
+    /// The server's bytes violated the wire protocol.
+    Protocol(ProtocolError),
+    /// The server shed the request; retry after the given backoff.
+    Shed {
+        /// Server-observed queue depth at rejection.
+        queue_depth: usize,
+        /// Deterministic backoff guidance in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline expired before the worker reached it.
+    Timeout {
+        /// The deadline that expired, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// A typed server-side failure.
+    Server {
+        /// Machine-matchable failure code.
+        code: crate::wire::ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+        /// Backoff guidance for retryable codes; 0 = do not retry.
+        retry_after_ms: u64,
+    },
+    /// The server replied with the wrong message type for the request.
+    UnexpectedReply(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "client I/O: {e}"),
+            Self::Protocol(e) => write!(f, "server protocol violation: {e}"),
+            Self::Shed {
+                queue_depth,
+                retry_after_ms,
+            } => write!(
+                f,
+                "request shed (queue depth {queue_depth}); retry after {retry_after_ms} ms"
+            ),
+            Self::Timeout { deadline_ms } => {
+                write!(f, "request deadline ({deadline_ms} ms) expired")
+            }
+            Self::Server {
+                code,
+                detail,
+                retry_after_ms,
+            } => write!(
+                f,
+                "server error {code:?}: {detail} (retry_after_ms={retry_after_ms})"
+            ),
+            Self::UnexpectedReply(want) => {
+                write!(
+                    f,
+                    "server replied with the wrong message type (wanted {want})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        Self::Protocol(e)
+    }
+}
+
+/// A blocking connection to a `prvm-serve` daemon.
+pub struct Client {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    next_id: u64,
+    /// Deadline budget attached to requests (0 = server default).
+    pub deadline_ms: u64,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        // A liveness bound, not a request deadline: if the daemon says
+        // nothing for this long the connection is considered dead.
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            decoder: FrameDecoder::new(),
+            next_id: 1,
+            deadline_ms: 0,
+        })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Send one request and block for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ClientError`]; shed/timeout/error replies are mapped to
+    /// their variants so callers match instead of parsing.
+    pub fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let bytes = req.encode()?;
+        self.stream.write_all(&bytes)?;
+        self.stream.flush()?;
+        let want = req.id();
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(frame) = self.decoder.next_frame()? {
+                let resp = Response::decode(&frame)?;
+                // id 0 marks a connection-scoped protocol error reply.
+                if resp.id() == want || resp.id() == 0 {
+                    return match resp {
+                        Response::Shed(s) => Err(ClientError::Shed {
+                            queue_depth: s.queue_depth,
+                            retry_after_ms: s.retry_after_ms,
+                        }),
+                        Response::Timeout(t) => Err(ClientError::Timeout {
+                            deadline_ms: t.deadline_ms,
+                        }),
+                        Response::Error(e) => Err(ClientError::Server {
+                            code: e.code,
+                            detail: e.detail,
+                            retry_after_ms: e.retry_after_ms,
+                        }),
+                        ok => Ok(ok),
+                    };
+                }
+                // A stale reply (an earlier request we gave up on):
+                // discard and keep reading.
+                continue;
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-request",
+                )));
+            }
+            self.decoder.feed(&buf[..n]);
+        }
+    }
+
+    /// Place a VM of the named catalog type.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ClientError`].
+    pub fn place(&mut self, vm_type: &str) -> Result<PlacedResp, ClientError> {
+        let req = Request::Place(PlaceReq {
+            id: self.fresh_id(),
+            deadline_ms: self.deadline_ms,
+            vm_type: vm_type.to_string(),
+        });
+        match self.roundtrip(&req)? {
+            Response::Placed(r) => Ok(r),
+            _ => Err(ClientError::UnexpectedReply("Placed")),
+        }
+    }
+
+    /// Evict a resident VM.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ClientError`].
+    pub fn evict(&mut self, vm: u64) -> Result<EvictedResp, ClientError> {
+        let req = Request::Evict(EvictReq {
+            id: self.fresh_id(),
+            deadline_ms: self.deadline_ms,
+            vm,
+        });
+        match self.roundtrip(&req)? {
+            Response::Evicted(r) => Ok(r),
+            _ => Err(ClientError::UnexpectedReply("Evicted")),
+        }
+    }
+
+    /// Migrate a resident VM to a placer-chosen destination.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ClientError`].
+    pub fn migrate(&mut self, vm: u64) -> Result<MigratedResp, ClientError> {
+        let req = Request::Migrate(MigrateReq {
+            id: self.fresh_id(),
+            deadline_ms: self.deadline_ms,
+            vm,
+        });
+        match self.roundtrip(&req)? {
+            Response::Migrated(r) => Ok(r),
+            _ => Err(ClientError::UnexpectedReply("Migrated")),
+        }
+    }
+
+    /// Read cluster + process statistics.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ClientError`].
+    pub fn stats(&mut self) -> Result<StatsResp, ClientError> {
+        let req = Request::Stats(StatsReq {
+            id: self.fresh_id(),
+            deadline_ms: self.deadline_ms,
+        });
+        match self.roundtrip(&req)? {
+            Response::Stats(r) => Ok(r),
+            _ => Err(ClientError::UnexpectedReply("Stats")),
+        }
+    }
+
+    /// Force a compaction; returns the new snapshot version.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ClientError`].
+    pub fn snapshot(&mut self) -> Result<u64, ClientError> {
+        let req = Request::Snapshot(SnapshotReq {
+            id: self.fresh_id(),
+            deadline_ms: self.deadline_ms,
+        });
+        match self.roundtrip(&req)? {
+            Response::Snapshotted(r) => Ok(r.version),
+            _ => Err(ClientError::UnexpectedReply("Snapshotted")),
+        }
+    }
+
+    /// Ask the daemon to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ClientError`].
+    pub fn drain(&mut self) -> Result<(), ClientError> {
+        let req = Request::Drain(DrainReq {
+            id: self.fresh_id(),
+            deadline_ms: self.deadline_ms,
+        });
+        match self.roundtrip(&req)? {
+            Response::Draining(_) => Ok(()),
+            _ => Err(ClientError::UnexpectedReply("Draining")),
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! End-to-end daemon tests over real TCP sockets: place/evict/stats
+//! through the [`Client`], kill-and-restart recovery from the journaled
+//! store, graceful drain, typed shedding, and protocol-error handling
+//! for garbage bytes.
+
+use prvm_model::Quantizer;
+use prvm_serve::wire::ErrorCode;
+use prvm_serve::{CatalogSpec, Client, ClientError, Response, Server, ServerConfig, Store};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+/// Coarse profile resolution: daemon behaviour under test is
+/// resolution-independent and the coarse score book builds fast in
+/// debug mode.
+fn catalog() -> CatalogSpec {
+    CatalogSpec::ec2(6).with_quantizer(Quantizer {
+        core_slots: 2,
+        mem_levels: 4,
+        disk_levels: 2,
+    })
+}
+
+/// A fresh per-test store directory under the target tmpdir.
+fn fresh_store(test: &str) -> (PathBuf, Store) {
+    let dir = std::env::temp_dir().join(format!("prvm-serve-test-{test}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let store = Store::open(&dir).expect("store");
+    (dir, store)
+}
+
+fn start(store: Store, config: ServerConfig) -> prvm_serve::ServerHandle {
+    Server::start(&catalog(), store, config, "127.0.0.1:0").expect("server start")
+}
+
+#[test]
+fn place_evict_stats_roundtrip_over_tcp() {
+    let (_dir, store) = fresh_store("roundtrip");
+    let handle = start(store, ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let a = client.place("m3.medium").expect("place a");
+    let b = client.place("m3.large").expect("place b");
+    assert_ne!(a.vm, b.vm, "distinct ids");
+
+    let evicted = client.evict(a.vm).expect("evict");
+    assert_eq!(evicted.vm, a.vm);
+
+    let err = client.evict(a.vm).expect_err("already gone");
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::UnknownVm),
+        other => panic!("expected typed server error, got {other:?}"),
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.state.vms, 1);
+    assert_eq!(stats.state.next_vm_id, 2);
+    assert_eq!(stats.process.placed, 2);
+    assert_eq!(stats.process.evicted, 1);
+    assert_eq!(stats.process.journal_appends, 3);
+
+    let final_stats = handle.shutdown();
+    assert_eq!(final_stats.placed, 2);
+}
+
+#[test]
+fn restart_recovers_identical_state() {
+    let (dir, store) = fresh_store("restart");
+    let pre;
+    {
+        let handle = start(store, ServerConfig::default());
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        for ty in ["m3.medium", "m3.large", "c3.large", "m3.xlarge"] {
+            client.place(ty).expect(ty);
+        }
+        let placed = client.place("m3.medium").expect("one more");
+        client.evict(placed.vm).expect("evict");
+        client.migrate(0).expect("migrate vm 0");
+        pre = client.stats().expect("stats").state;
+        let _ = handle.shutdown();
+    }
+
+    // Cold start from the same store: the recovered state must be
+    // byte-identical — same digest, same allocator watermark.
+    let store = Store::open(&dir).expect("reopen");
+    let handle = start(store, ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).expect("reconnect");
+    let post = client.stats().expect("stats").state;
+    assert_eq!(post, pre, "recovered state identical to pre-kill state");
+
+    // And the daemon still serves: new ids never reuse retired ones.
+    let next = client.place("m3.medium").expect("place after recovery");
+    assert!(next.vm >= pre.next_vm_id, "no id reuse after recovery");
+    let _ = handle.shutdown();
+}
+
+#[test]
+fn snapshot_compacts_and_still_recovers() {
+    let (dir, store) = fresh_store("snapshot");
+    let pre;
+    {
+        let handle = start(store, ServerConfig::default());
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        for _ in 0..4 {
+            client.place("m3.medium").expect("place");
+        }
+        let version = client.snapshot().expect("snapshot");
+        assert!(version >= 1, "snapshot version advances");
+        // Post-compaction mutations land in the fresh journal tail.
+        client.place("c3.large").expect("tail write");
+        pre = client.stats().expect("stats").state;
+        let _ = handle.shutdown();
+    }
+
+    let store = Store::open(&dir).expect("reopen");
+    let handle = start(store, ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).expect("reconnect");
+    assert_eq!(client.stats().expect("stats").state, pre);
+    let _ = handle.shutdown();
+}
+
+#[test]
+fn drain_rejects_new_work_with_typed_reply() {
+    let (_dir, store) = fresh_store("drain");
+    let handle = start(store, ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.place("m3.medium").expect("place");
+    client.drain().expect("drain acknowledged");
+
+    // Requests after the drain ack get a typed Draining error (or the
+    // socket closes if the reader already exited — both are clean).
+    match client.place("m3.medium") {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Draining),
+        Err(ClientError::Io(_)) => {}
+        other => panic!("expected Draining or closed socket, got {other:?}"),
+    }
+    let stats = handle.join();
+    assert_eq!(stats.placed, 1);
+}
+
+#[test]
+fn zero_capacity_queue_sheds_with_backoff_guidance() {
+    let (_dir, store) = fresh_store("shed");
+    let handle = start(
+        store,
+        ServerConfig {
+            // Capacity clamps to 1, so fill the single slot with the
+            // worker parked behind it to force a deterministic shed.
+            queue_capacity: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    // Shed responses carry capped-doubling backoff guidance. Stuffing
+    // requests faster than the worker drains them is inherently racy,
+    // so accept either outcome but verify the typed shape when it sheds.
+    let mut sheds = 0u64;
+    for _ in 0..64 {
+        match client.stats() {
+            Ok(_) => {}
+            Err(ClientError::Shed { retry_after_ms, .. }) => {
+                assert!(retry_after_ms >= 50, "backoff floor");
+                assert!(retry_after_ms <= 3200, "backoff cap");
+                sheds += 1;
+            }
+            Err(other) => panic!("unexpected failure: {other:?}"),
+        }
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.shed, sheds, "server counted the same sheds");
+}
+
+#[test]
+fn garbage_bytes_get_a_typed_protocol_reply_then_close() {
+    let (_dir, store) = fresh_store("garbage");
+    let handle = start(store, ServerConfig::default());
+    let mut raw = TcpStream::connect(handle.addr()).expect("connect");
+    raw.write_all(b"GET / HTTP/1.1\r\n\r\n")
+        .expect("write garbage");
+
+    // The server answers with a framed Protocol error, then closes.
+    let mut bytes = Vec::new();
+    raw.read_to_end(&mut bytes).expect("read until close");
+    let mut decoder = prvm_serve::FrameDecoder::new();
+    decoder.feed(&bytes);
+    let frame = decoder
+        .next_frame()
+        .expect("valid frame")
+        .expect("one reply before close");
+    match Response::decode(&frame).expect("typed reply") {
+        Response::Error(err) => {
+            assert_eq!(err.code, ErrorCode::Protocol);
+            assert_eq!(err.id, 0, "connection-scoped error carries id 0");
+        }
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    let _ = handle.shutdown();
+}

@@ -27,7 +27,7 @@ use prvm_obs::event;
 use prvm_traces::{generate, TraceKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 /// Why the controller lost contact with a node agent. Every variant names
@@ -80,6 +80,27 @@ enum NodeState {
 fn send_to_agent(tx: &Sender<ToNode>, node: usize, msg: ToNode) -> Result<(), ControllerError> {
     tx.send(msg)
         .map_err(|_| ControllerError::NodeDisconnected { node })
+}
+
+/// Which node a controller-bound message came from.
+fn message_source(msg: &ToController) -> usize {
+    match msg {
+        ToController::Status { node, .. } | ToController::Killed { node, .. } => *node,
+    }
+}
+
+/// Receive the next controller-bound message: buffered messages (kept
+/// aside by a rejoin drain) first, then the live channel under the
+/// remaining deadline budget.
+fn next_message(
+    pending: &mut VecDeque<ToController>,
+    from_nodes: &Receiver<ToController>,
+    remaining: Duration,
+) -> Result<ToController, RecvTimeoutError> {
+    if let Some(msg) = pending.pop_front() {
+        return Ok(msg);
+    }
+    from_nodes.recv_timeout(remaining)
 }
 
 /// Mutable controller state shared by the scan loop and the
@@ -201,8 +222,30 @@ impl Supervisor {
     /// A quarantined node reported again with a current-scan status:
     /// readmit it. Its jobs were already re-placed, so the agent is reset
     /// to empty before its capacity returns.
-    fn rejoin(&mut self, node: usize, scan: usize, placer: &mut dyn PlacementAlgorithm) {
+    ///
+    /// Before `Reset` is sent, every in-flight message is drained from
+    /// the shared channel: anything this node sent before it sees the
+    /// reset (stale statuses from its tick backlog, late kill acks) is
+    /// void and must not linger to be misread by a later handshake loop.
+    /// Previously those leftovers were absorbed only when a
+    /// `recv_timeout` happened to expire past them — a flaky-by-design
+    /// window. Messages from *other* nodes are kept, in order, in
+    /// `pending` for the caller to process normally.
+    fn rejoin(
+        &mut self,
+        node: usize,
+        scan: usize,
+        placer: &mut dyn PlacementAlgorithm,
+        from_nodes: &Receiver<ToController>,
+        pending: &mut VecDeque<ToController>,
+    ) {
         debug_assert_eq!(self.state[node], NodeState::Quarantined);
+        pending.retain(|msg| message_source(msg) != node);
+        while let Ok(msg) = from_nodes.try_recv() {
+            if message_source(&msg) != node {
+                pending.push_back(msg);
+            }
+        }
         match send_to_agent(&self.to_nodes[node], node, ToNode::Reset) {
             Ok(()) => {
                 self.state[node] = NodeState::Up;
@@ -343,6 +386,9 @@ pub fn run_testbed_faulty(
     let mut overload_events = 0usize;
     let mut slo_samples = 0usize;
     let mut active_samples = 0usize;
+    // Messages set aside by a rejoin drain (see [`Supervisor::rejoin`]),
+    // consumed before the live channel so ordering is preserved.
+    let mut pending: VecDeque<ToController> = VecDeque::new();
 
     for t in 0..scans {
         for node in 0..cfg.nodes {
@@ -366,7 +412,7 @@ pub fn run_testbed_faulty(
         let deadline = Instant::now() + timeout;
         while awaiting > 0 {
             let remaining = deadline.saturating_duration_since(Instant::now());
-            match from_nodes.recv_timeout(remaining) {
+            match next_message(&mut pending, &from_nodes, remaining) {
                 Ok(ToController::Status {
                     node,
                     t: rt,
@@ -389,7 +435,9 @@ pub fn run_testbed_faulty(
                         // A current-scan status from a quarantined node
                         // means it is back; readmit it (empty) and ignore
                         // the demands of its already-re-placed jobs.
-                        NodeState::Quarantined => sup.rejoin(node, t, placer),
+                        NodeState::Quarantined => {
+                            sup.rejoin(node, t, placer, &from_nodes, &mut pending);
+                        }
                         NodeState::Dead => {}
                     }
                 }
@@ -490,7 +538,7 @@ pub fn run_testbed_faulty(
                         let kill_deadline = Instant::now() + timeout;
                         loop {
                             let remaining = kill_deadline.saturating_duration_since(Instant::now());
-                            match from_nodes.recv_timeout(remaining) {
+                            match next_message(&mut pending, &from_nodes, remaining) {
                                 Ok(ToController::Killed { job, .. }) if job.id == victim => {
                                     break Some(job);
                                 }

@@ -202,7 +202,7 @@ macro_rules! range_strategy {
     )*};
 }
 
-range_strategy!(u16, u32, u64, usize, f64);
+range_strategy!(u8, u16, u32, u64, usize, f64);
 
 macro_rules! tuple_strategy {
     ($(($($name:ident : $idx:tt),+))*) => {$(
@@ -254,6 +254,38 @@ impl Arbitrary for bool {
         AnyBool
     }
 }
+
+/// Full-range unsigned-integer strategy backing `any::<uN>()`.
+pub struct AnyUint<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for AnyUint<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for AnyUint<T> {}
+
+macro_rules! any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyUint<$t> {
+            type Value = $t;
+            // Truncation is the point: each width sees its full range.
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyUint<$t>;
+            fn arbitrary() -> AnyUint<$t> {
+                AnyUint(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+any_uint!(u8, u16, u32, u64, usize);
 
 /// Collection strategies (`prop::collection::vec`).
 pub mod collection {
@@ -487,11 +519,13 @@ mod tests {
             ),
             picked in prop::sample::select(vec![2u32, 4, 8]),
             flag in any::<bool>(),
+            byte in any::<u8>(),
             fixed in Just(7i32),
         ) {
             prop_assert!(!ops.is_empty());
             prop_assert!([2, 4, 8].contains(&picked));
             prop_assert!(u8::from(flag) <= 1);
+            prop_assert!(u16::from(byte) <= 255);
             prop_assert_eq!(fixed, 7);
         }
 

@@ -56,7 +56,7 @@ pub mod uniform {
         )*};
     }
 
-    int_range!(u16, u32, u64, usize);
+    int_range!(u8, u16, u32, u64, usize);
 
     impl SampleRange<f64> for Range<f64> {
         fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
